@@ -1,0 +1,173 @@
+"""Section V-C — headline results on Steward, Zyzzyva, Prime, Aardvark.
+
+* Steward: Delay Pre-Prepare degrades 19.6 -> 0.9 upd/s; Drop Accept is
+  *masked* by fault-tolerant retransmission code to ~0.4 upd/s instead of
+  triggering a view change; duplication of threshold-crypto messages
+  (GlobalViewChange/CCSUnion) drops throughput toward 0.27 upd/s.
+* Zyzzyva: dropping one replica's (speculative) Reply removes the benefit
+  of speculation — latency 3.90/3.95/4.02 ms -> 3.95/5.32/5.40 ms
+  (min/avg/max) in the paper.
+* Prime: dropping PO-Summary halts progress with the suspect-leader
+  protocol never initiated; the same for lying Pre-Prepare sequence
+  numbers backwards; a *delaying* leader is rotated out (tolerated).
+* Aardvark: Delay Status slows the system, but the flooding protection
+  mutes the attack when the delay gets too big.
+"""
+
+import pytest
+
+from repro.attacks.actions import DelayAction, DropAction, DuplicateAction, \
+    LyingAction
+from repro.attacks.strategies import LyingStrategy
+from repro.common.ids import replica
+from repro.controller.harness import AttackHarness
+from repro.systems.aardvark.testbed import aardvark_testbed
+from repro.systems.prime.testbed import prime_testbed
+from repro.systems.steward.testbed import steward_testbed
+from repro.systems.zyzzyva.testbed import zyzzyva_testbed
+
+from reporting import report, run_once
+
+
+def run_policy(factory, mtype, action, window=6.0, seed=1):
+    harness = AttackHarness(factory, seed=seed)
+    instance = harness.start_run(take_warm_snapshot=False)
+    if mtype is not None:
+        instance.proxy.set_policy(mtype, action)
+    return harness.measure_window(window), instance
+
+
+@pytest.mark.benchmark(group="sec5c")
+def test_sec5c_steward(benchmark):
+    def run():
+        out = {}
+        out["benign"], __ = run_policy(steward_testbed("leader"), None, None)
+        out["delay PrePrepare 1s"], __ = run_policy(
+            steward_testbed("leader"), "PrePrepare", DelayAction(1.0))
+        out["drop Accept"], inst = run_policy(
+            steward_testbed("remote_rep"), "Accept", DropAction(1.0),
+            window=10.0)
+        views = [inst.world.app(replica(i)).global_view for i in range(8)]
+        out["dup GVC x50"], __ = run_policy(
+            steward_testbed("remote_rep"), "GlobalViewChange",
+            DuplicateAction(50))
+        out["dup CCSUnion x50"], __ = run_policy(
+            steward_testbed("remote_backup"), "CCSUnion",
+            DuplicateAction(50))
+        return out, views
+
+    out, views = run_once(benchmark, run)
+    paper = {"benign": "19.6", "delay PrePrepare 1s": "0.9",
+             "drop Accept": "0.4", "dup GVC x50": "0.27",
+             "dup CCSUnion x50": "0.27"}
+    report("SEC V-C Steward (upd/s)",
+           ["scenario", "measured", "paper"],
+           [[k, f"{s.throughput:.2f}", paper[k]] for k, s in out.items()])
+
+    assert 13 < out["benign"].throughput < 25             # paper 19.6
+    assert out["delay PrePrepare 1s"].throughput < 2.0    # paper 0.9
+    assert 0.1 < out["drop Accept"].throughput < 1.5      # paper 0.4
+    # fault masking: NO global view change happened
+    assert all(v == 0 for v in views)
+    # duplication of threshold-crypto messages is devastating
+    assert out["dup GVC x50"].throughput < out["benign"].throughput * 0.2
+    assert out["dup CCSUnion x50"].throughput < out["benign"].throughput * 0.4
+
+
+@pytest.mark.benchmark(group="sec5c")
+def test_sec5c_zyzzyva_latency(benchmark):
+    def run():
+        benign, __ = run_policy(zyzzyva_testbed("backup"), None, None)
+        attacked, inst = run_policy(zyzzyva_testbed("backup"),
+                                    "SpecResponse", DropAction(1.0))
+        from repro.common.ids import client
+        cl = inst.world.app(client(0))
+        return benign, attacked, cl.fast_completions, cl.slow_completions
+
+    benign, attacked, fast, slow = run_once(benchmark, run)
+
+    def fmt(s):
+        return (f"{s.latency_min * 1000:.2f}/{s.latency_avg * 1000:.2f}/"
+                f"{s.latency_max * 1000:.2f}")
+
+    report("SEC V-C Zyzzyva: latency min/avg/max (ms) under Drop Reply",
+           ["scenario", "measured", "paper"],
+           [["benign", fmt(benign), "3.90/3.95/4.02"],
+            ["drop SpecResponse", fmt(attacked), "3.95/5.32/5.40"],
+            ["slow-path completions", slow, "(speculation lost)"]])
+
+    # shape: benign latency ~4 ms, attack pushes the average up noticeably
+    assert 0.003 < benign.latency_avg < 0.007
+    assert attacked.latency_avg > benign.latency_avg * 1.3
+    assert slow > 0  # the commit path replaced the fast path
+
+
+@pytest.mark.benchmark(group="sec5c")
+def test_sec5c_prime(benchmark):
+    def run():
+        out = {}
+        views = {}
+        out["benign"], inst = run_policy(prime_testbed("leader"), None, None)
+        views["benign"] = [inst.world.app(replica(i)).view for i in range(4)]
+        out["drop PO-Summary"], inst = run_policy(
+            prime_testbed("backup"), "POSummary", DropAction(1.0))
+        views["drop PO-Summary"] = [inst.world.app(replica(i)).view
+                                    for i in range(4)]
+        out["lie PrePrepare seq (backwards)"], inst = run_policy(
+            prime_testbed("leader"), "PrePrepare",
+            LyingAction("seq", LyingStrategy("spanning", 4)))
+        views["lie PrePrepare seq (backwards)"] = [
+            inst.world.app(replica(i)).view for i in range(4)]
+        out["delay PrePrepare 1s (tolerated)"], inst = run_policy(
+            prime_testbed("leader"), "PrePrepare", DelayAction(1.0))
+        views["delay PrePrepare 1s (tolerated)"] = [
+            inst.world.app(replica(i)).view for i in range(4)
+            if not inst.world.node(replica(i)).crashed]
+        return out, views
+
+    out, views = run_once(benchmark, run)
+    paper = {"benign": "(progress)", "drop PO-Summary": "halts",
+             "lie PrePrepare seq (backwards)": "halts, never suspected",
+             "delay PrePrepare 1s (tolerated)": "leader replaced"}
+    report("SEC V-C Prime (upd/s; views show suspect-leader activity)",
+           ["scenario", "measured", "views", "paper"],
+           [[k, f"{s.throughput:.2f}", str(views[k]), paper[k]]
+            for k, s in out.items()])
+
+    assert out["benign"].throughput > 15
+    assert out["drop PO-Summary"].throughput < 1.0
+    assert views["drop PO-Summary"] == [0, 0, 0, 0]       # never suspected
+    assert out["lie PrePrepare seq (backwards)"].throughput < 1.0
+    assert views["lie PrePrepare seq (backwards)"] == [0, 0, 0, 0]
+    # the delaying leader IS rotated out and performance recovers
+    assert all(v >= 1 for v in views["delay PrePrepare 1s (tolerated)"])
+    assert out["delay PrePrepare 1s (tolerated)"].throughput > \
+        out["benign"].throughput * 0.4
+
+
+@pytest.mark.benchmark(group="sec5c")
+def test_sec5c_aardvark(benchmark):
+    def run():
+        out = {}
+        out["benign"], __ = run_policy(aardvark_testbed("backup"), None, None)
+        out["delay Status 1s"], __ = run_policy(
+            aardvark_testbed("backup"), "Status", DelayAction(1.0))
+        out["delay Status 3s (muted)"], __ = run_policy(
+            aardvark_testbed("backup"), "Status", DelayAction(3.0))
+        out["dup PrePrepare x50 (muted)"], __ = run_policy(
+            aardvark_testbed("primary"), "PrePrepare", DuplicateAction(50))
+        return out
+
+    out = run_once(benchmark, run)
+    paper = {"benign": "(progress)",
+             "delay Status 1s": "slows the system",
+             "delay Status 3s (muted)": "flooding protection mutes",
+             "dup PrePrepare x50 (muted)": "robust design absorbs"}
+    report("SEC V-C Aardvark (upd/s)",
+           ["scenario", "measured", "paper"],
+           [[k, f"{s.throughput:.2f}", paper[k]] for k, s in out.items()])
+
+    benign = out["benign"].throughput
+    assert out["delay Status 1s"].throughput < benign * 0.95
+    assert out["delay Status 3s (muted)"].throughput > benign * 0.97
+    assert out["dup PrePrepare x50 (muted)"].throughput > benign * 0.9

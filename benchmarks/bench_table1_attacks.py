@@ -1,0 +1,203 @@
+"""Table I — the attacks Turret found across the five systems.
+
+Two parts:
+
+1. **Replay** — every Table I attack is executed as a proxy policy against
+   its system and verified to qualify under the platform's attack rule
+   (throughput damage beyond Δ, or benign-node crashes).  Two *negative*
+   rows are included on purpose: Prime tolerates a delaying leader (the
+   suspect-leader protocol rotates it out) and Aardvark mutes duplication
+   floods — the robustness results the paper reports for those systems.
+2. **Discovery** — the weighted-greedy search, given only the schema, finds
+   attacks automatically on each system.
+"""
+
+import pytest
+
+from repro.attacks.actions import (DelayAction, DropAction, DuplicateAction,
+                                   LyingAction)
+from repro.attacks.space import ActionSpaceConfig
+from repro.attacks.strategies import LyingStrategy
+from repro.controller.harness import AttackHarness
+from repro.controller.monitor import AttackThreshold
+from repro.search.weighted import WeightedGreedySearch
+from repro.systems.aardvark.testbed import aardvark_testbed
+from repro.systems.pbft.testbed import pbft_testbed, pbft_view_change_testbed
+from repro.systems.prime.testbed import prime_testbed
+from repro.systems.steward.testbed import steward_testbed
+from repro.systems.zyzzyva.testbed import zyzzyva_testbed
+
+from reporting import report, run_once
+
+THRESHOLD = AttackThreshold(delta=0.08)
+
+
+def lie(field, kind="min", operand=0.0):
+    return LyingAction(field, LyingStrategy(kind, operand))
+
+
+# (label, factory kwargs-free callable, message type, action, expectation)
+# expectation: "perf" (damage > delta), "crash" (benign nodes die),
+# "halt" (damage > 0.9), "tolerated" (NOT an attack: damage small, no crash)
+TABLE1 = [
+    # --- PBFT ---
+    ("PBFT Delay Pre-Prepare 1s", lambda: pbft_testbed("primary"),
+     "PrePrepare", DelayAction(1.0), "halt"),
+    ("PBFT Drop Pre-Prepare 50%", lambda: pbft_testbed("primary"),
+     "PrePrepare", DropAction(0.5), "halt"),
+    ("PBFT Delay Status 1s", lambda: pbft_testbed("backup"),
+     "Status", DelayAction(1.0), "perf"),
+    ("PBFT Dup Pre-Prepare 50", lambda: pbft_testbed("primary"),
+     "PrePrepare", DuplicateAction(50), "perf"),
+    ("PBFT Dup Status 50", lambda: pbft_testbed("backup"),
+     "Status", DuplicateAction(50), "dos"),
+    ("PBFT Lie Pre-Prepare", lambda: pbft_testbed("primary"),
+     "PrePrepare", lie("big_reqs"), "crash"),
+    ("PBFT Lie Status", lambda: pbft_testbed("backup"),
+     "Status", lie("nmsgs"), "crash"),
+    # --- Steward ---
+    ("Steward Delay Pre-Prepare 1s", lambda: steward_testbed("leader"),
+     "PrePrepare", DelayAction(1.0), "halt"),
+    ("Steward Delay Proposal 1s", lambda: steward_testbed("leader"),
+     "Proposal", DelayAction(1.0), "halt"),
+    ("Steward Delay Accept 1s", lambda: steward_testbed("remote_rep"),
+     "Accept", DelayAction(1.0), "halt"),
+    ("Steward Drop Accept", lambda: steward_testbed("remote_rep"),
+     "Accept", DropAction(1.0), "halt"),
+    ("Steward Dup GlobalViewChange 50", lambda: steward_testbed("remote_rep"),
+     "GlobalViewChange", DuplicateAction(50), "perf"),
+    ("Steward Dup CCSUnion 50", lambda: steward_testbed("remote_backup"),
+     "CCSUnion", DuplicateAction(50), "perf"),
+    ("Steward Lie Status", lambda: steward_testbed("remote_backup"),
+     "Status", lie("nmsgs"), "crash"),
+    ("Steward Lie GlobalViewChange view", lambda: steward_testbed("remote_rep"),
+     "GlobalViewChange", lie("global_view", "max"), "crash"),
+    # --- Zyzzyva ---
+    ("Zyzzyva Drop SpecResponse", lambda: zyzzyva_testbed("backup"),
+     "SpecResponse", DropAction(1.0), "perf"),
+    ("Zyzzyva Delay OrderRequest 1s", lambda: zyzzyva_testbed("primary"),
+     "OrderRequest", DelayAction(1.0), "halt"),
+    ("Zyzzyva Lie OrderRequest size", lambda: zyzzyva_testbed("primary"),
+     "OrderRequest", lie("msg_size"), "crash"),
+    # --- Prime ---
+    ("Prime Drop PO-Summary", lambda: prime_testbed("backup"),
+     "POSummary", DropAction(1.0), "halt"),
+    ("Prime Lie Pre-Prepare seq (stall)", lambda: prime_testbed("leader"),
+     "PrePrepare", lie("seq", "spanning", 4), "halt"),
+    ("Prime Lie Pre-Prepare seq=0", lambda: prime_testbed("leader"),
+     "PrePrepare", lie("seq", "spanning", 3), "crash"),
+    ("Prime Lie PO-Request len", lambda: prime_testbed("leader"),
+     "PORequest", lie("len"), "crash"),
+    ("Prime Lie PO-Summary nentries", lambda: prime_testbed("backup"),
+     "POSummary", lie("nentries"), "crash"),
+    ("Prime Delay Pre-Prepare (tolerated)", lambda: prime_testbed("leader"),
+     "PrePrepare", DelayAction(1.0), "tolerated"),
+    # --- Aardvark ---
+    ("Aardvark Lie Pre-Prepare big_reqs", lambda: aardvark_testbed("primary"),
+     "PrePrepare", lie("big_reqs"), "crash"),
+    ("Aardvark Lie Pre-Prepare ndet", lambda: aardvark_testbed("primary"),
+     "PrePrepare", lie("ndet_choices"), "crash"),
+    ("Aardvark Lie Status nmsgs", lambda: aardvark_testbed("backup"),
+     "Status", lie("nmsgs"), "crash"),
+    ("Aardvark Delay Status 1s", lambda: aardvark_testbed("backup"),
+     "Status", DelayAction(1.0), "dos"),
+    ("Aardvark Dup Pre-Prepare 50 (muted)", lambda: aardvark_testbed("primary"),
+     "PrePrepare", DuplicateAction(50), "tolerated"),
+]
+
+
+def evaluate(factory, mtype, action):
+    harness = AttackHarness(factory, seed=1)
+    harness.start_run(take_warm_snapshot=False)
+    baseline = harness.measure_window()
+
+    harness2 = AttackHarness(factory, seed=1)
+    instance = harness2.start_run(take_warm_snapshot=False)
+    instance.proxy.set_policy(mtype, action)
+    attacked = harness2.measure_window()
+    return baseline, attacked
+
+
+def replay_all():
+    results = []
+    for label, make_factory, mtype, action, expect in TABLE1:
+        factory = make_factory()
+        baseline, attacked = evaluate(factory, mtype, action)
+        damage = THRESHOLD.damage(baseline, attacked)
+        results.append((label, expect, baseline, attacked, damage))
+    return results
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_replay(benchmark):
+    results = run_once(benchmark, replay_all)
+    rows = []
+    failures = []
+    for label, expect, baseline, attacked, damage in results:
+        verdict = "attack" if (attacked.crashed_nodes > 0
+                               or damage > THRESHOLD.delta) else "no attack"
+        rows.append([label, f"{baseline.throughput:.1f}",
+                     f"{attacked.throughput:.1f}",
+                     f"{damage:.0%}", attacked.crashed_nodes,
+                     expect, verdict])
+        if expect == "crash" and attacked.crashed_nodes == 0:
+            failures.append(f"{label}: expected crashes")
+        elif expect == "halt" and damage < 0.75:
+            failures.append(f"{label}: expected halt, damage {damage:.0%}")
+        elif expect == "perf" and damage <= THRESHOLD.delta \
+                and attacked.crashed_nodes == 0:
+            failures.append(f"{label}: expected perf attack")
+        elif expect == "dos" and damage <= 0.05:
+            failures.append(f"{label}: expected measurable DoS")
+        elif expect == "tolerated" and (damage > THRESHOLD.delta * 2
+                                        or attacked.crashed_nodes):
+            failures.append(f"{label}: expected the system to tolerate this")
+    report("TABLE I: attack replay across the five systems "
+           "(benign vs attacked upd/s)",
+           ["attack", "benign", "attacked", "damage", "crashed",
+            "expected", "verdict"], rows)
+    assert not failures, "\n".join(failures)
+
+
+DISCOVERY_SPACE = ActionSpaceConfig(
+    delays=(1.0,), drop_probabilities=(0.5, 1.0), duplicate_counts=(50,),
+    include_divert=False, include_lying=True)
+
+DISCOVERY = [
+    ("pbft", lambda: pbft_testbed("primary", warmup=2.0, window=3.0),
+     ["PrePrepare"]),
+    ("pbft-vc", lambda: pbft_view_change_testbed(warmup=2.0, window=3.0),
+     ["ViewChange"]),
+    ("steward", lambda: steward_testbed("remote_rep", warmup=2.0, window=4.0),
+     ["Accept"]),
+    ("zyzzyva", lambda: zyzzyva_testbed("backup", warmup=2.0, window=3.0),
+     ["SpecResponse"]),
+    ("prime", lambda: prime_testbed("backup", warmup=2.0, window=4.0),
+     ["POSummary"]),
+    ("aardvark", lambda: aardvark_testbed("backup", warmup=2.0, window=4.0),
+     ["Status"]),
+]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_discovery(benchmark):
+    """Weighted greedy, given only the schema, finds an attack per system."""
+
+    def run():
+        out = []
+        for name, make_factory, types in DISCOVERY:
+            search = WeightedGreedySearch(make_factory(), seed=1,
+                                          threshold=THRESHOLD,
+                                          space_config=DISCOVERY_SPACE)
+            out.append((name, search.run(message_types=types)))
+        return out
+
+    reports = run_once(benchmark, run)
+    rows = []
+    for name, search_report in reports:
+        for finding in search_report.findings:
+            rows.append([name, finding.describe()])
+    report("TABLE I (discovery): weighted-greedy findings per system",
+           ["system", "finding"], rows)
+    for name, search_report in reports:
+        assert search_report.findings, f"no attack discovered on {name}"

@@ -1,0 +1,115 @@
+"""Table III — weighted greedy vs greedy: time to find the same attacks.
+
+The paper's comparison on PBFT: the weighted greedy algorithm found
+identical attacks 76.8%–99.4% faster than the greedy algorithm, because
+greedy always evaluates *every* action per message type (times rounds, for
+confidence) while weighted greedy orders actions by learned cluster weights
+and stops at the first action whose damage exceeds Δ.
+
+Platform time is the cost-ledger total: boot, execution windows, snapshot
+saves and restores, all charged at modelled durations.  Absolute numbers
+are not comparable with the paper's testbed; the reductions are.
+"""
+
+import pytest
+
+from repro.attacks.space import ActionSpaceConfig
+from repro.controller.monitor import AttackThreshold
+from repro.search.greedy import GreedySearch
+from repro.search.weighted import WeightedGreedySearch
+from repro.systems.pbft.testbed import pbft_testbed
+
+from reporting import report, run_once
+
+THRESHOLD = AttackThreshold(delta=0.08)
+SPACE = ActionSpaceConfig(delays=(0.5, 1.0), drop_probabilities=(0.5, 1.0),
+                          duplicate_counts=(2, 50), include_divert=True,
+                          include_lying=True)
+
+CONFIGS = [
+    ("primary", ["PrePrepare"]),
+    ("backup", ["Status"]),
+]
+
+
+def run_pair():
+    results = []
+    for malicious, types in CONFIGS:
+        factory = pbft_testbed(malicious=malicious, warmup=2.0, window=3.0)
+        greedy = GreedySearch(factory, seed=1, threshold=THRESHOLD,
+                              space_config=SPACE, rounds=2, confirmations=2)
+        greedy_report = greedy.run(message_types=types)
+        weighted = WeightedGreedySearch(factory, seed=1, threshold=THRESHOLD,
+                                        space_config=SPACE)
+        weighted_report = weighted.run(message_types=types)
+        results.append((malicious, types, greedy_report, weighted_report))
+    return results
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_greedy_vs_weighted(benchmark):
+    results = run_once(benchmark, run_pair)
+
+    rows = []
+    for malicious, types, greedy_report, weighted_report in results:
+        for finding in weighted_report.findings:
+            greedy_match = greedy_report.findings
+            greedy_time = (greedy_match[0].found_at if greedy_match
+                           else greedy_report.total_time)
+            reduction = 100.0 * (1 - finding.found_at / greedy_time)
+            rows.append([
+                f"{finding.name} (malicious {malicious})",
+                f"{greedy_time:.1f}",
+                f"{finding.found_at:.1f}",
+                f"{reduction:.1f}%",
+                "paper: 76.8-99.4% reduced",
+            ])
+    report("TABLE III: time to find attacks, greedy vs weighted greedy "
+           "(platform seconds)",
+           ["attack", "greedy(s)", "weighted(s)", "% reduced", "paper"],
+           rows)
+
+    for malicious, types, greedy_report, weighted_report in results:
+        # both algorithms find an attack for the type
+        assert weighted_report.findings, f"weighted found none for {types}"
+        assert greedy_report.findings, f"greedy found none for {types}"
+        # greedy's confirmed attack is at least as damaging (it maximizes)
+        # and the weighted one still clears the Δ bar
+        assert weighted_report.findings[0].damage > THRESHOLD.delta
+        # the headline: weighted greedy is dramatically faster
+        g = greedy_report.findings[0].found_at
+        w = weighted_report.findings[0].found_at
+        assert w < g * 0.35, f"only {100 * (1 - w / g):.1f}% reduction"
+        # and structurally so: it evaluated far fewer scenarios
+        assert weighted_report.scenarios_evaluated < \
+            greedy_report.scenarios_evaluated / 4
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_weighted_learning_transfers(benchmark):
+    """The weight bump from one message type speeds up the next one.
+
+    After finding a delay attack on PrePrepare the delay cluster's weight
+    grows, so for Commit the winning action is tried first again — the
+    mechanism 'the algorithm attempts to learn what actions are more likely
+    effective and use the information to improve the next search'.
+    """
+
+    def run():
+        factory = pbft_testbed(malicious="primary", warmup=2.0, window=3.0)
+        search = WeightedGreedySearch(factory, seed=1, threshold=THRESHOLD,
+                                      space_config=SPACE)
+        return search.run(message_types=["PrePrepare", "Commit"]), search
+
+    report_, search = run_once(benchmark, run)
+    names = report_.attack_names()
+    assert any("PrePrepare" in n for n in names)
+    assert any("Commit" in n for n in names)
+    # delay was bumped after the PrePrepare find
+    from repro.attacks.actions import CLUSTER_DELAY
+    from repro.search.weighted import DEFAULT_WEIGHTS
+    assert search.weights.weight(CLUSTER_DELAY) > DEFAULT_WEIGHTS[CLUSTER_DELAY]
+    report("TABLE III (learning): weighted greedy across two message types",
+           ["attack", "found at (s)", "scenarios evaluated"],
+           [[f.name, f"{f.found_at:.1f}", report_.scenarios_evaluated]
+            for f in report_.findings])

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Using Turret as a classroom testing platform (Section V-D).
+
+The paper used Turret in a graduate distributed-systems course: students
+submitted unmodified binaries for three projects — Paxos, the Byzantine
+Generals Problem, and Total Order Multicast — and the platform probed their
+robustness without anyone writing malicious test-case code.
+
+This example plays instructor over all three bundled (deliberately
+student-grade) assignments: it runs the weighted-greedy search against each
+submission's most load-bearing message types and turns the findings into a
+grade.
+
+Run:  python examples/classroom_paxos.py
+"""
+
+from repro.attacks.space import ActionSpaceConfig
+from repro.controller.monitor import AttackThreshold
+from repro.search import WeightedGreedySearch
+from repro.systems.byzgen import byzgen_testbed
+from repro.systems.paxos import paxos_testbed
+from repro.systems.tom import tom_testbed
+
+ASSIGNMENTS = [
+    ("multi-paxos", "leader = replica0",
+     paxos_testbed(malicious_index=0, warmup=2.0, window=4.0),
+     ["Accept", "Learn", "Heartbeat"],
+     "Consider detecting a leader that stops making progress even while "
+     "its heartbeats keep arriving."),
+    ("byzantine-generals", "commander = general0",
+     byzgen_testbed(malicious_index=0, warmup=2.0, window=3.0),
+     ["Order", "Relay"],
+     "A round whose order never arrives is silently abandoned; add "
+     "retransmission or a default decision."),
+    ("total-order-multicast", "sequencer = member0",
+     tom_testbed(malicious_index=0, warmup=2.0, window=3.0),
+     ["Sequence", "Publish"],
+     "A gap in the global sequence blocks delivery forever; ask the "
+     "sequencer to re-send missing sequence records."),
+]
+
+
+def grade(name, role, factory, types, hint) -> int:
+    print(f"\n=== Grading submission: {name} ({role}) ===")
+    space = ActionSpaceConfig(delays=(1.0,), drop_probabilities=(1.0,),
+                              duplicate_counts=(50,), include_divert=True,
+                              include_lying=False)
+    search = WeightedGreedySearch(
+        factory, seed=42, threshold=AttackThreshold(delta=0.25),
+        space_config=space, max_wait=8.0)
+    report = search.run(message_types=types)
+    print(report.describe())
+    mark = max(0, 5 - len(report.findings))
+    print(f"Robustness grade: {mark}/5")
+    if report.findings:
+        print(f"Feedback: {hint}")
+    return len(report.findings)
+
+
+def main() -> None:
+    total = sum(grade(*assignment) for assignment in ASSIGNMENTS)
+    print(f"\n{'=' * 60}\nTotal robustness findings across the three "
+          f"assignments: {total}")
+
+
+if __name__ == "__main__":
+    main()

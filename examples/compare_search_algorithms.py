@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Brute force vs greedy vs weighted greedy on the same hunt.
+
+Reproduces the motivation for Fig. 2 / Table III: all three algorithms find
+the Delay Pre-Prepare attack on PBFT, at wildly different platform cost.
+Brute force pays boot + warmup for every scenario; greedy branches but
+evaluates every action (times confidence rounds); weighted greedy stops at
+the first action whose damage clears Δ.
+
+Run:  python examples/compare_search_algorithms.py
+"""
+
+from repro.attacks.space import ActionSpaceConfig
+from repro.search import BruteForceSearch, GreedySearch, WeightedGreedySearch
+from repro.systems.pbft import pbft_testbed
+
+SPACE = ActionSpaceConfig(delays=(0.5, 1.0), drop_probabilities=(0.5, 1.0),
+                          duplicate_counts=(2, 50), include_divert=True,
+                          include_lying=False)
+
+
+def main() -> None:
+    factory = pbft_testbed(malicious="primary", warmup=2.0, window=3.0)
+    rows = []
+    for cls, kwargs in ((BruteForceSearch, {}),
+                        (GreedySearch, {"rounds": 2, "confirmations": 2}),
+                        (WeightedGreedySearch, {})):
+        search = cls(factory, seed=5, space_config=SPACE, **kwargs)
+        report = search.run(message_types=["PrePrepare"])
+        best = report.findings[0] if report.findings else None
+        rows.append((report.algorithm, report.scenarios_evaluated,
+                     f"{report.total_time:.0f}s",
+                     best.name if best else "(none)",
+                     f"{best.found_at:.0f}s" if best else "-"))
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'algorithm':<{width}}  {'scenarios':>9}  {'total':>7}  "
+          f"{'first attack':<24} {'found at':>8}")
+    for algorithm, scenarios, total, attack, found_at in rows:
+        print(f"{algorithm:<{width}}  {scenarios:>9}  {total:>7}  "
+              f"{attack:<24} {found_at:>8}")
+    print("\n(paper, Table III: weighted greedy found identical attacks "
+          "76.8%-99.4% faster than greedy)")
+
+
+if __name__ == "__main__":
+    main()

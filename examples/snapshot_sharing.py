@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Page-sharing-aware snapshots: reproduce the Table II experiment.
+
+Boots clusters of 5, 10, and 15 VMs running the paper's measurement app
+("sends a monotonically increasing sequence to a server, with its hostname,
+every second"), saves snapshots with and without the shared page map, and
+prints save time / load time / size / reduction.
+
+Run:  python examples/snapshot_sharing.py
+"""
+
+from repro.common.units import MIB
+from repro.vm import SnapshotManager, VmCluster
+
+
+class SequenceSender:
+    def __init__(self, hostname: str) -> None:
+        self.hostname = hostname
+        self.sequence = 0
+
+    def tick(self) -> None:
+        self.sequence += 1
+
+    def snapshot_state(self):
+        return {"hostname": self.hostname, "sequence": self.sequence}
+
+    def restore_state(self, state):
+        self.hostname = state["hostname"]
+        self.sequence = state["sequence"]
+
+
+def main() -> None:
+    print(f"{'VMs':>4} {'plain save':>11} {'shared save':>12} "
+          f"{'load':>7} {'plain MB':>9} {'shared MB':>10} {'reduced':>8}")
+    for n_vms in (5, 10, 15):
+        cluster = VmCluster([f"vm{i}" for i in range(n_vms)])
+        cluster.boot_all()
+        for vm in cluster.machines():
+            vm.app = SequenceSender(vm.name)
+            for __ in range(30):
+                vm.app.tick()
+
+        plain = cluster.save_snapshot(shared=False)
+        cluster.resume_all()
+        shared = cluster.save_snapshot(shared=True)
+        __, time_red = SnapshotManager.compare(plain.snapshot,
+                                               shared.snapshot)
+        print(f"{n_vms:>4} {plain.snapshot.save_time:>10.2f}s "
+              f"{shared.snapshot.save_time:>11.2f}s "
+              f"{plain.snapshot.load_time:>6.3f}s "
+              f"{plain.snapshot.stored_bytes() / MIB:>9.0f} "
+              f"{shared.snapshot.stored_bytes() / MIB:>10.0f} "
+              f"{time_red:>7.1f}%")
+
+        # prove the restore is exact, not just fast
+        digests = [vm.state_digest() for vm in cluster.machines()]
+        cluster.resume_all()
+        for vm in cluster.machines():
+            vm.app.tick()
+        cluster.restore_snapshot(shared.snapshot)
+        assert digests == [vm.state_digest() for vm in cluster.machines()]
+    print("\n(paper, 5 VMs: plain 5.76s, load 0.038s, 532 MB; "
+          "time reduced 34.5%% -> 40.3%% at 15 VMs)")
+
+
+if __name__ == "__main__":
+    main()

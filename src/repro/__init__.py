@@ -1,0 +1,14 @@
+"""repro — a reproduction of Turret (ICDCS 2014).
+
+Turret is a platform for automatically finding performance attacks in
+unmodified distributed-system implementations.  This package reproduces the
+whole platform in Python: the virtualization substrate (``repro.vm``), the
+network emulator (``repro.netem``), the message-format compiler
+(``repro.wire``), the malicious proxy and action space (``repro.attacks``),
+the controller with distributed-snapshot execution branching
+(``repro.controller``), the brute-force / greedy / weighted-greedy attack
+finding algorithms (``repro.search``), and the five BFT target systems the
+paper evaluates (``repro.systems``).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,11 @@
+"""Analysis tooling: report persistence/rendering, traffic, timelines."""
+
+from repro.analysis.reports import (excluded_scenarios, load_report,
+                                    render_markdown, report_from_dict,
+                                    report_to_dict, save_report)
+from repro.analysis.timeline import CrashEvent, Timeline
+from repro.analysis.traffic import TrafficTap, TypeStats
+
+__all__ = ["excluded_scenarios", "load_report", "render_markdown",
+           "report_from_dict", "report_to_dict", "save_report", "CrashEvent",
+           "Timeline", "TrafficTap", "TypeStats"]

@@ -1,0 +1,151 @@
+"""Rendering and persistence of search reports.
+
+Search results should survive the Python process: a report round-trips
+through plain JSON (scenario records, samples, ledger) so hunts can be
+resumed with previously found attacks excluded, compared across runs, or
+rendered for humans as text/markdown tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.attacks.actions import AttackScenario
+from repro.controller.costs import CostLedger
+from repro.controller.monitor import PerfSample
+from repro.search.results import AttackFinding, SearchReport
+
+
+# ------------------------------------------------------------- serialization
+
+def _sample_to_dict(sample: PerfSample) -> Dict[str, Any]:
+    return {
+        "start": sample.start, "end": sample.end,
+        "throughput": sample.throughput,
+        "latency_min": sample.latency_min,
+        "latency_avg": sample.latency_avg,
+        "latency_max": sample.latency_max,
+        "crashed_nodes": sample.crashed_nodes,
+    }
+
+
+def _sample_from_dict(data: Dict[str, Any]) -> PerfSample:
+    return PerfSample(data["start"], data["end"], data["throughput"],
+                      data["latency_min"], data["latency_avg"],
+                      data["latency_max"], data["crashed_nodes"])
+
+
+def _finding_to_dict(finding: AttackFinding) -> Dict[str, Any]:
+    return {
+        "scenario": _record_to_jsonable(finding.scenario.to_record()),
+        "baseline": _sample_to_dict(finding.baseline),
+        "attacked": _sample_to_dict(finding.attacked),
+        "damage": finding.damage,
+        "crashes": finding.crashes,
+        "found_at": finding.found_at,
+        "confirmations": finding.confirmations,
+    }
+
+
+def _record_to_jsonable(record: Any) -> Any:
+    if isinstance(record, tuple):
+        return {"__tuple__": [_record_to_jsonable(x) for x in record]}
+    if isinstance(record, bytes):
+        return {"__bytes__": record.hex()}
+    return record
+
+
+def _record_from_jsonable(data: Any) -> Any:
+    if isinstance(data, dict) and "__tuple__" in data:
+        return tuple(_record_from_jsonable(x) for x in data["__tuple__"])
+    if isinstance(data, dict) and "__bytes__" in data:
+        return bytes.fromhex(data["__bytes__"])
+    return data
+
+
+def _finding_from_dict(data: Dict[str, Any]) -> AttackFinding:
+    return AttackFinding(
+        scenario=AttackScenario.from_record(
+            _record_from_jsonable(data["scenario"])),
+        baseline=_sample_from_dict(data["baseline"]),
+        attacked=_sample_from_dict(data["attacked"]),
+        damage=data["damage"],
+        crashes=data["crashes"],
+        found_at=data["found_at"],
+        confirmations=data["confirmations"],
+    )
+
+
+def report_to_dict(report: SearchReport) -> Dict[str, Any]:
+    return {
+        "algorithm": report.algorithm,
+        "system": report.system,
+        "findings": [_finding_to_dict(f) for f in report.findings],
+        "weak_selections": [_finding_to_dict(f)
+                            for f in report.weak_selections],
+        "ledger": dict(report.ledger.by_category),
+        "scenarios_evaluated": report.scenarios_evaluated,
+        "injection_points": report.injection_points,
+        "types_without_injection": list(report.types_without_injection),
+    }
+
+
+def report_from_dict(data: Dict[str, Any]) -> SearchReport:
+    report = SearchReport(
+        data["algorithm"], data["system"],
+        findings=[_finding_from_dict(f) for f in data["findings"]],
+        weak_selections=[_finding_from_dict(f)
+                         for f in data["weak_selections"]],
+        ledger=CostLedger(dict(data["ledger"])),
+        scenarios_evaluated=data["scenarios_evaluated"],
+        injection_points=data["injection_points"],
+        types_without_injection=list(data["types_without_injection"]),
+    )
+    return report
+
+
+def save_report(report: SearchReport, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report_to_dict(report), fh, indent=2)
+
+
+def load_report(path: str) -> SearchReport:
+    with open(path) as fh:
+        return report_from_dict(json.load(fh))
+
+
+def excluded_scenarios(report: SearchReport) -> set:
+    """Exclusion set for the next hunt pass over the same system."""
+    return {f.scenario.to_record() for f in report.findings}
+
+
+# ----------------------------------------------------------------- rendering
+
+def render_markdown(report: SearchReport) -> str:
+    lines = [
+        f"# {report.algorithm} on {report.system}",
+        "",
+        f"* attacks found: **{len(report.findings)}**",
+        f"* scenarios evaluated: {report.scenarios_evaluated}",
+        f"* injection points: {report.injection_points}",
+        f"* platform time: {report.total_time:.1f} s "
+        f"({report.ledger.describe()})",
+        "",
+    ]
+    if report.types_without_injection:
+        lines.append("* no injection point for: "
+                     + ", ".join(report.types_without_injection))
+        lines.append("")
+    if report.findings:
+        lines.append("| attack | baseline | attacked | damage | crashes "
+                     "| found at (s) |")
+        lines.append("|---|---|---|---|---|---|")
+        for f in report.findings:
+            lines.append(
+                f"| {f.name} | {f.baseline.throughput:.1f} "
+                f"| {f.attacked.throughput:.1f} | {f.damage:.0%} "
+                f"| {f.crashes} | {f.found_at:.1f} |")
+    else:
+        lines.append("_No attacks found._")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Timeline analysis over an experiment's event log.
+
+When the event log is enabled (``World(log_enabled=True)``), every send,
+delivery, crash, and proxy action is recorded with its virtual timestamp.
+:class:`Timeline` turns that stream into the questions an investigator asks
+after a finding: when did nodes crash, what did the proxy do and when, how
+did traffic evolve across the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.logging import EventLog, LogRecord
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    time: float
+    node: str
+    reason: str
+
+
+class Timeline:
+    """Queries over one experiment's event log."""
+
+    def __init__(self, log: EventLog) -> None:
+        self.log = log
+
+    # --------------------------------------------------------------- crashes
+
+    def crashes(self) -> List[CrashEvent]:
+        return [CrashEvent(r.time, r.component, r.details.get("reason", ""))
+                for r in self.log.select(event="crash")]
+
+    def first_crash(self) -> Optional[CrashEvent]:
+        crashes = self.crashes()
+        return crashes[0] if crashes else None
+
+    # ----------------------------------------------------------------- proxy
+
+    def proxy_actions(self) -> List[LogRecord]:
+        return [r for r in self.log.records
+                if r.component == "netem"
+                and r.event in ("proxy_drop", "proxy_hold")]
+
+    # --------------------------------------------------------------- traffic
+
+    def event_counts(self) -> Dict[Tuple[str, str], int]:
+        counts: Dict[Tuple[str, str], int] = {}
+        for r in self.log.records:
+            key = (r.component, r.event)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def sends_by_type(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for r in self.log.records:
+            if r.event == "send":
+                mtype = r.details.get("type", "?")
+                counts[mtype] = counts.get(mtype, 0) + 1
+        return counts
+
+    def deliveries_per_second(self, bucket: float = 1.0) -> List[Tuple[float, int]]:
+        """Delivery counts bucketed by virtual time (a throughput sketch)."""
+        buckets: Dict[int, int] = {}
+        for r in self.log.select(component="netem", event="deliver"):
+            buckets[int(r.time / bucket)] = buckets.get(
+                int(r.time / bucket), 0) + 1
+        return [(i * bucket, n) for i, n in sorted(buckets.items())]
+
+    # -------------------------------------------------------------- renderer
+
+    def render(self, max_rows: int = 20) -> str:
+        lines = [f"events recorded: {len(self.log.records)} "
+                 f"(dropped {self.log.dropped})"]
+        crashes = self.crashes()
+        if crashes:
+            lines.append("crashes:")
+            for c in crashes:
+                lines.append(f"  [{c.time:9.4f}] {c.node}: {c.reason}")
+        top = sorted(self.event_counts().items(), key=lambda kv: -kv[1])
+        lines.append("top events:")
+        for (component, event), count in top[:max_rows]:
+            lines.append(f"  {component}/{event}: {count}")
+        return "\n".join(lines)

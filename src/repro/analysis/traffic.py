@@ -1,0 +1,75 @@
+"""Traffic observation: per-message-type statistics of a live world.
+
+A :class:`TrafficTap` subscribes to the emulator's message observers and
+aggregates counts and bytes per (message type, sender role).  This is how a
+user answers "which message types does my system actually exercise?" before
+pointing the search at them — the paper's searches only make sense for
+types the execution sends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netem.emulator import NetworkEmulator
+from repro.netem.packets import MessageEnvelope
+from repro.wire.codec import ProtocolCodec
+
+
+@dataclass
+class TypeStats:
+    sent: int = 0
+    delivered: int = 0
+    bytes_sent: int = 0
+
+    def row(self) -> Tuple[int, int, int]:
+        return (self.sent, self.delivered, self.bytes_sent)
+
+
+class TrafficTap:
+    """Counts live traffic by message type."""
+
+    def __init__(self, emulator: NetworkEmulator,
+                 codec: ProtocolCodec) -> None:
+        self.codec = codec
+        self.by_type: Dict[str, TypeStats] = {}
+        self.unknown = TypeStats()
+        emulator.add_observer(self._observe)
+
+    def _classify(self, envelope: MessageEnvelope) -> TypeStats:
+        spec = self.codec.peek_type(envelope.payload)
+        if spec is None:
+            return self.unknown
+        return self.by_type.setdefault(spec.name, TypeStats())
+
+    def _observe(self, event: str, envelope: MessageEnvelope) -> None:
+        stats = self._classify(envelope)
+        if event == "sent":
+            stats.sent += 1
+            stats.bytes_sent += envelope.size
+        elif event == "delivered":
+            stats.delivered += 1
+
+    # ----------------------------------------------------------------- query
+
+    def active_types(self, min_sent: int = 1) -> List[str]:
+        """Message types the execution actually sends (search candidates)."""
+        return sorted(t for t, s in self.by_type.items()
+                      if s.sent >= min_sent)
+
+    def total_sent(self) -> int:
+        return sum(s.sent for s in self.by_type.values()) + self.unknown.sent
+
+    def summary(self) -> List[Tuple[str, int, int, int]]:
+        rows = [(name,) + stats.row()
+                for name, stats in sorted(self.by_type.items())]
+        if self.unknown.sent:
+            rows.append(("<unknown>",) + self.unknown.row())
+        return rows
+
+    def render(self) -> str:
+        lines = [f"{'type':<20} {'sent':>8} {'delivered':>10} {'bytes':>12}"]
+        for name, sent, delivered, nbytes in self.summary():
+            lines.append(f"{name:<20} {sent:>8} {delivered:>10} {nbytes:>12}")
+        return "\n".join(lines)

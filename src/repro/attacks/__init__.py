@@ -1,0 +1,16 @@
+"""Malicious actions, lying strategies, action space, and the proxy."""
+
+from repro.attacks.actions import (ActionContext, AttackScenario, DelayAction,
+                                   DivertAction, DropAction, DuplicateAction,
+                                   LyingAction, MaliciousAction)
+from repro.attacks.proxy import INJECTION_POINT, MaliciousProxy
+from repro.attacks.space import ActionSpace, ActionSpaceConfig
+from repro.attacks.strategies import (ALL_STRATEGIES, LyingStrategy,
+                                      default_strategies)
+
+__all__ = [
+    "ActionContext", "AttackScenario", "DelayAction", "DivertAction",
+    "DropAction", "DuplicateAction", "LyingAction", "MaliciousAction",
+    "INJECTION_POINT", "MaliciousProxy", "ActionSpace", "ActionSpaceConfig",
+    "ALL_STRATEGIES", "LyingStrategy", "default_strategies",
+]

@@ -1,0 +1,113 @@
+"""Lying strategies over typed message fields (Section II-B).
+
+"An attacker can lie about a field based on absolute and relative values.
+For absolute value based lying, we assume min, max, random and spanning
+where spanning means values from a set which spans the range of the data
+type.  For relative value based lying, we assume addition, subtraction and
+multiplication of the original value."
+
+A strategy maps (field type, original value, rng) to the lied value.  The
+result is wrapped into the field's representable range the way a raw C store
+would wrap, so e.g. ``sub 1`` on an unsigned sequence number of 0 produces
+the huge positive value an attacker would actually put on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.common.errors import ProxyError
+from repro.common.rng import RandomStream
+from repro.wire.types import ScalarType
+
+Number = Union[int, float, bool]
+
+ABS_MIN = "min"
+ABS_MAX = "max"
+ABS_RANDOM = "random"
+ABS_SPANNING = "spanning"
+REL_ADD = "add"
+REL_SUB = "sub"
+REL_MUL = "mul"
+
+ABSOLUTE_STRATEGIES = (ABS_MIN, ABS_MAX, ABS_RANDOM, ABS_SPANNING)
+RELATIVE_STRATEGIES = (REL_ADD, REL_SUB, REL_MUL)
+ALL_STRATEGIES = ABSOLUTE_STRATEGIES + RELATIVE_STRATEGIES
+
+
+@dataclass(frozen=True)
+class LyingStrategy:
+    """One concrete way to lie about one field.
+
+    ``operand`` parameterizes the strategy: the summand/factor for relative
+    strategies, or the index into the type's spanning set for ``spanning``.
+    """
+
+    kind: str
+    operand: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_STRATEGIES:
+            raise ProxyError(f"unknown lying strategy {self.kind!r}")
+
+    def describe(self) -> str:
+        if self.kind in (REL_ADD, REL_SUB, REL_MUL):
+            return f"{self.kind} {self.operand:g}"
+        if self.kind == ABS_SPANNING:
+            return f"spanning[{int(self.operand)}]"
+        return self.kind
+
+    def lie(self, field_type: ScalarType, original: Number,
+            rng: RandomStream) -> Number:
+        if self.kind == ABS_MIN:
+            value = field_type.min_value
+        elif self.kind == ABS_MAX:
+            value = field_type.max_value
+        elif self.kind == ABS_RANDOM:
+            if field_type.is_bool:
+                value = bool(rng.randint(0, 1))
+            elif field_type.is_integer:
+                value = rng.randint(int(field_type.min_value),
+                                    int(field_type.max_value))
+            else:
+                value = rng.uniform(-1e9, 1e9)
+        elif self.kind == ABS_SPANNING:
+            span = field_type.spanning_values()
+            value = span[int(self.operand) % len(span)]
+        elif self.kind == REL_ADD:
+            value = _as_number(original) + self.operand
+        elif self.kind == REL_SUB:
+            value = _as_number(original) - self.operand
+        else:  # REL_MUL
+            value = _as_number(original) * self.operand
+        return field_type.wrap(value)
+
+    # ------------------------------------------------------------- records
+
+    def to_record(self) -> tuple:
+        return (self.kind, self.operand)
+
+    @classmethod
+    def from_record(cls, record: tuple) -> "LyingStrategy":
+        return cls(record[0], record[1])
+
+
+def _as_number(value: Number) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    return value
+
+
+def default_strategies(field_type: ScalarType) -> List[LyingStrategy]:
+    """The standard strategy set the action space enumerates for a field."""
+    strategies = [LyingStrategy(ABS_MIN), LyingStrategy(ABS_MAX),
+                  LyingStrategy(ABS_RANDOM)]
+    span_count = len(field_type.spanning_values())
+    strategies.extend(LyingStrategy(ABS_SPANNING, i) for i in range(span_count))
+    if not field_type.is_bool:
+        strategies.extend([
+            LyingStrategy(REL_ADD, 1), LyingStrategy(REL_SUB, 1),
+            LyingStrategy(REL_MUL, 2), LyingStrategy(REL_MUL, -1),
+        ])
+    return strategies

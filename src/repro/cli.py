@@ -1,0 +1,292 @@
+"""Command-line interface to the platform.
+
+Mirrors how the paper's users drive Turret: pick a system, describe nothing
+but which node is compromised, and let the platform measure baselines,
+replay attack scenarios, or search for new ones.
+
+    python -m repro systems
+    python -m repro schema pbft
+    python -m repro baseline pbft --window 6
+    python -m repro traffic pbft --window 4
+    python -m repro attack pbft --type PrePrepare --action delay:1.0
+    python -m repro attack pbft --type PrePrepare --action lie:big_reqs:min
+    python -m repro search pbft --algorithm weighted --types PrePrepare,Status
+    python -m repro search pbft --json report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.attacks.actions import (DelayAction, DivertAction, DropAction,
+                                   DuplicateAction, LyingAction,
+                                   MaliciousAction)
+from repro.attacks.space import ActionSpaceConfig
+from repro.attacks.strategies import LyingStrategy
+from repro.common.errors import TurretError
+from repro.controller.harness import AttackHarness
+from repro.controller.monitor import AttackThreshold
+from repro.systems.registry import get_system, registry, system_names
+
+
+def parse_action(spec: str) -> MaliciousAction:
+    """Parse an action spec: drop[:p] | delay:s | dup:n | divert |
+    lie:field:strategy[:operand]."""
+    parts = spec.split(":")
+    kind = parts[0]
+    try:
+        if kind == "drop":
+            return DropAction(float(parts[1]) if len(parts) > 1 else 1.0)
+        if kind == "delay":
+            return DelayAction(float(parts[1]))
+        if kind in ("dup", "duplicate"):
+            return DuplicateAction(int(parts[1]))
+        if kind == "divert":
+            return DivertAction()
+        if kind == "lie":
+            field, strategy = parts[1], parts[2]
+            operand = float(parts[3]) if len(parts) > 3 else 0.0
+            return LyingAction(field, LyingStrategy(strategy, operand))
+    except (IndexError, ValueError) as exc:
+        raise SystemExit(f"bad action spec {spec!r}: {exc}")
+    raise SystemExit(
+        f"unknown action kind {kind!r} "
+        "(expected drop/delay/dup/divert/lie)")
+
+
+def _harness(args) -> AttackHarness:
+    entry = get_system(args.system)
+    role = args.malicious or entry.default_role
+    if role not in entry.roles:
+        raise SystemExit(f"--malicious must be one of {entry.roles} "
+                         f"for {entry.name}")
+    factory = entry.build(role, args.warmup, args.window)
+    return AttackHarness(factory, seed=args.seed,
+                         threshold=AttackThreshold(delta=args.delta),
+                         delta_snapshots=args.delta_snapshots)
+
+
+def cmd_systems(args) -> int:
+    for name in system_names():
+        entry = registry()[name]
+        print(f"{name:<10} {entry.description}  "
+              f"(malicious roles: {', '.join(entry.roles)})")
+    return 0
+
+
+def cmd_schema(args) -> int:
+    print(get_system(args.system).schema_text.strip())
+    return 0
+
+
+def cmd_baseline(args) -> int:
+    harness = _harness(args)
+    harness.start_run(take_warm_snapshot=False)
+    sample = harness.measure_window()
+    print(f"{args.system} benign: {sample.describe()}")
+    print(f"  latency min/avg/max: {sample.latency_min * 1000:.2f}/"
+          f"{sample.latency_avg * 1000:.2f}/"
+          f"{sample.latency_max * 1000:.2f} ms")
+    return 0
+
+
+def cmd_traffic(args) -> int:
+    from repro.analysis.traffic import TrafficTap
+    entry = get_system(args.system)
+    harness = _harness(args)
+    instance = harness.start_run(take_warm_snapshot=False)
+    tap = TrafficTap(instance.world.emulator, instance.world.codec)
+    harness.measure_window()
+    print(tap.render())
+    print(f"\nsearch candidates: {', '.join(tap.active_types())}")
+    return 0
+
+
+def cmd_attack(args) -> int:
+    action = parse_action(args.action)
+    harness = _harness(args)
+    harness.start_run(take_warm_snapshot=False)
+    baseline = harness.measure_window()
+
+    attacked_harness = _harness(args)
+    instance = attacked_harness.start_run(take_warm_snapshot=False)
+    instance.proxy.set_policy(args.type, action)
+    attacked = attacked_harness.measure_window()
+
+    threshold = AttackThreshold(delta=args.delta)
+    damage = threshold.damage(baseline, attacked)
+    verdict = ("ATTACK" if threshold.is_attack(baseline, attacked)
+               else "no attack")
+    print(f"scenario: {action.describe()} {args.type} on {args.system} "
+          f"(malicious {args.malicious or get_system(args.system).default_role})")
+    print(f"  benign  : {baseline.describe()}")
+    print(f"  attacked: {attacked.describe()}")
+    print(f"  damage  : {damage:.0%} -> {verdict}")
+    return 0
+
+
+def cmd_search(args) -> int:
+    from repro.search import (BruteForceSearch, GreedySearch,
+                              WeightedGreedySearch)
+    algorithms = {"weighted": WeightedGreedySearch, "greedy": GreedySearch,
+                  "brute": BruteForceSearch}
+    cls = algorithms[args.algorithm]
+
+    entry = get_system(args.system)
+    role = args.malicious or entry.default_role
+    factory = entry.build(role, args.warmup, args.window)
+
+    space = ActionSpaceConfig(
+        delays=(1.0,) if args.fast else (0.5, 1.0),
+        drop_probabilities=(0.5, 1.0),
+        duplicate_counts=(50,) if args.fast else (2, 50),
+        include_divert=not args.fast,
+        include_lying=not args.no_lying)
+    search = cls(factory, seed=args.seed,
+                 threshold=AttackThreshold(delta=args.delta),
+                 space_config=space, max_wait=args.max_wait)
+
+    types: Optional[List[str]] = None
+    if args.types:
+        types = [t.strip() for t in args.types.split(",") if t.strip()]
+    elif entry.active_types:
+        types = list(entry.active_types)
+
+    exclude = set()
+    if args.exclude_from:
+        from repro.analysis.reports import excluded_scenarios, load_report
+        exclude = excluded_scenarios(load_report(args.exclude_from))
+
+    report = search.run(message_types=types, exclude=exclude)
+    print(report.describe())
+    if args.json:
+        from repro.analysis.reports import save_report
+        save_report(report, args.json)
+        print(f"\nreport written to {args.json}")
+    if args.markdown:
+        from repro.analysis.reports import render_markdown
+        print("\n" + render_markdown(report))
+    return 0 if report.findings or args.allow_empty else 1
+
+
+def cmd_hunt(args) -> int:
+    from repro.search.hunt import hunt
+    entry = get_system(args.system)
+    role = args.malicious or entry.default_role
+    factory = entry.build(role, args.warmup, args.window)
+    space = ActionSpaceConfig(
+        delays=(1.0,) if args.fast else (0.5, 1.0),
+        drop_probabilities=(0.5, 1.0),
+        duplicate_counts=(50,) if args.fast else (2, 50),
+        include_divert=not args.fast,
+        include_lying=not args.no_lying)
+    types: Optional[List[str]] = None
+    if args.types:
+        types = [t.strip() for t in args.types.split(",") if t.strip()]
+    elif entry.active_types:
+        types = list(entry.active_types)
+    result = hunt(factory, seed=args.seed, message_types=types,
+                  threshold=AttackThreshold(delta=args.delta),
+                  space_config=space, max_passes=args.passes,
+                  max_wait=args.max_wait)
+    print(result.describe())
+    for finding in result.findings:
+        print("  " + finding.describe())
+    return 0 if result.findings or args.allow_empty else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Turret reproduction: automated performance-attack "
+                    "finding in distributed system implementations")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("systems", help="list bundled target systems")
+
+    p = sub.add_parser("schema", help="print a system's wire-format DSL")
+    p.add_argument("system", choices=system_names())
+
+    def common(p, with_role=True):
+        p.add_argument("system", choices=system_names())
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--warmup", type=float, default=3.0)
+        p.add_argument("--window", type=float, default=6.0)
+        p.add_argument("--delta", type=float, default=0.25,
+                       help="damage fraction that counts as an attack")
+        p.add_argument("--delta-snapshots", action="store_true",
+                       help="use incremental snapshots at injection points")
+        if with_role:
+            p.add_argument("--malicious", default=None,
+                           help="which role the proxy controls")
+
+    p = sub.add_parser("baseline", help="measure benign performance")
+    common(p)
+
+    p = sub.add_parser("traffic", help="per-type traffic of a benign run")
+    common(p)
+
+    p = sub.add_parser("attack", help="replay one attack scenario")
+    common(p)
+    p.add_argument("--type", required=True, help="message type to act on")
+    p.add_argument("--action", required=True,
+                   help="drop[:p] | delay:s | dup:n | divert | "
+                        "lie:field:strategy[:operand]")
+
+    p = sub.add_parser("search", help="run an attack-finding algorithm")
+    common(p)
+    p.add_argument("--algorithm", choices=("weighted", "greedy", "brute"),
+                   default="weighted")
+    p.add_argument("--types", default=None,
+                   help="comma-separated message types (default: the "
+                        "types a benign run exercises)")
+    p.add_argument("--max-wait", type=float, default=15.0,
+                   help="seconds to wait for an injection point per type")
+    p.add_argument("--fast", action="store_true",
+                   help="trim the action space for a quick pass")
+    p.add_argument("--no-lying", action="store_true",
+                   help="delivery actions only")
+    p.add_argument("--json", default=None, help="write the report as JSON")
+    p.add_argument("--markdown", action="store_true",
+                   help="also print a markdown report")
+    p.add_argument("--exclude-from", default=None,
+                   help="JSON report whose findings to exclude (hunt passes)")
+    p.add_argument("--allow-empty", action="store_true",
+                   help="exit 0 even when nothing was found")
+
+    p = sub.add_parser("hunt", help="repeat weighted-greedy passes until "
+                                    "no new attacks are found")
+    common(p)
+    p.add_argument("--types", default=None)
+    p.add_argument("--passes", type=int, default=5)
+    p.add_argument("--max-wait", type=float, default=15.0)
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--no-lying", action="store_true")
+    p.add_argument("--allow-empty", action="store_true")
+    return parser
+
+
+COMMANDS = {
+    "systems": cmd_systems,
+    "schema": cmd_schema,
+    "baseline": cmd_baseline,
+    "traffic": cmd_traffic,
+    "attack": cmd_attack,
+    "search": cmd_search,
+    "hunt": cmd_hunt,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except TurretError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Shared infrastructure: errors, deterministic RNG, ids, units, logging."""
+
+from repro.common.errors import (AssertionViolation, CodecError, ConfigError,
+                                 NetworkError, ProxyError, SchemaParseError,
+                                 SearchError, SegmentationFault,
+                                 SimulationError, SnapshotError,
+                                 TargetSystemFault, TransportError,
+                                 TurretError, WireFormatError)
+from repro.common.ids import FlowId, NodeId, client, replica
+from repro.common.logging import EventLog, LogRecord
+from repro.common.rng import RandomStream, RngRegistry, derive_seed
+from repro.common.units import (GIB, KIB, MIB, PAGE_SIZE, mbit_per_sec,
+                                micros, millis, pages_for)
+
+__all__ = [
+    "AssertionViolation", "CodecError", "ConfigError", "NetworkError",
+    "ProxyError", "SchemaParseError", "SearchError", "SegmentationFault",
+    "SimulationError", "SnapshotError", "TargetSystemFault", "TransportError",
+    "TurretError", "WireFormatError", "FlowId", "NodeId", "client", "replica",
+    "EventLog", "LogRecord", "RandomStream", "RngRegistry", "derive_seed",
+    "GIB", "KIB", "MIB", "PAGE_SIZE", "mbit_per_sec", "micros", "millis",
+    "pages_for",
+]

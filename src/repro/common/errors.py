@@ -1,0 +1,83 @@
+"""Exception hierarchy for the Turret reproduction.
+
+Every error raised by the platform derives from :class:`TurretError` so that
+callers can distinguish platform failures from bugs in target systems.  Target
+system implementation flaws (the ones the paper's lying attacks trigger)
+surface as :class:`SegmentationFault` or :class:`AssertionViolation`, which
+the node runtime converts into a crashed-node condition rather than letting
+them abort the experiment.
+"""
+
+from __future__ import annotations
+
+
+class TurretError(Exception):
+    """Base class for all platform errors."""
+
+
+class ConfigError(TurretError):
+    """Invalid configuration passed to a platform component."""
+
+
+class SimulationError(TurretError):
+    """Internal inconsistency detected by the simulation kernel."""
+
+
+class SnapshotError(TurretError):
+    """A snapshot could not be taken, stored, or restored."""
+
+
+class WireFormatError(TurretError):
+    """A message-format description or encoded message is malformed."""
+
+
+class SchemaParseError(WireFormatError):
+    """The message-format DSL text could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class CodecError(WireFormatError):
+    """Encoding or decoding a concrete message failed."""
+
+
+class NetworkError(TurretError):
+    """The network emulator was asked to do something impossible."""
+
+
+class TransportError(NetworkError):
+    """A transport-level operation (connect, send) failed."""
+
+
+class ProxyError(TurretError):
+    """The malicious proxy could not apply a requested action."""
+
+
+class SearchError(TurretError):
+    """An attack-finding algorithm was misconfigured or failed."""
+
+
+class TargetSystemFault(Exception):
+    """Base for faults raised *inside* target-system code.
+
+    These intentionally do not derive from :class:`TurretError`: they model
+    defects in the system under test, not in the platform.
+    """
+
+
+class SegmentationFault(TargetSystemFault):
+    """Models a memory-safety crash in a target implementation.
+
+    The paper's lying attacks replace size fields with negative values; the
+    C/C++ targets then index out of bounds and die with SIGSEGV.  Our Python
+    targets raise this exception from the equivalent unchecked code paths and
+    the node runtime marks the node as crashed.
+    """
+
+
+class AssertionViolation(TargetSystemFault):
+    """Models an ``assert()`` firing inside a target implementation."""

@@ -1,0 +1,40 @@
+"""Identifier types used across the platform.
+
+Node identifiers are small integers (as in the BFT literature where replicas
+are numbered 0..n-1); the helpers here wrap them with roles so log output and
+assertions stay readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class NodeId:
+    """Identity of a participant in the distributed system under test."""
+
+    index: int
+    role: str = "replica"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.role}{self.index}"
+
+
+def replica(i: int) -> NodeId:
+    return NodeId(i, "replica")
+
+
+def client(i: int) -> NodeId:
+    return NodeId(i, "client")
+
+
+@dataclass(frozen=True, order=True)
+class FlowId:
+    """A unidirectional application-level flow between two nodes."""
+
+    src: NodeId
+    dst: NodeId
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.src}->{self.dst}"

@@ -1,0 +1,85 @@
+"""Deterministic, named random streams.
+
+Every source of randomness in the platform draws from a named stream derived
+from a single experiment seed.  Two properties matter:
+
+* **Reproducibility** — the same seed yields a byte-identical execution,
+  which the controller relies on when comparing branched executions.
+* **Independence** — consuming randomness in one component (say, the network
+  emulator's jitter) must not perturb another (say, a lying strategy's random
+  values).  Named streams give each component its own generator.
+
+Streams are themselves snapshottable so that restoring an execution branch
+restores the exact randomness that the original execution would have seen.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Tuple
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a stream name."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStream:
+    """A named, snapshottable wrapper around :class:`random.Random`."""
+
+    def __init__(self, root_seed: int, name: str) -> None:
+        self.name = name
+        self._rng = random.Random(derive_seed(root_seed, name))
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._rng.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._rng.randint(lo, hi)
+
+    def getrandbits(self, bits: int) -> int:
+        return self._rng.getrandbits(bits)
+
+    def choice(self, seq):
+        return self._rng.choice(seq)
+
+    def shuffle(self, seq) -> None:
+        self._rng.shuffle(seq)
+
+    def bytes(self, n: int) -> bytes:
+        return self._rng.getrandbits(8 * n).to_bytes(n, "big") if n else b""
+
+    def save_state(self):
+        return self._rng.getstate()
+
+    def load_state(self, state) -> None:
+        self._rng.setstate(state)
+
+
+class RngRegistry:
+    """Factory and snapshot point for all random streams of an experiment."""
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = root_seed
+        self._streams: Dict[str, RandomStream] = {}
+
+    def stream(self, name: str) -> RandomStream:
+        """Return the stream called ``name``, creating it on first use."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        created = RandomStream(self.root_seed, name)
+        self._streams[name] = created
+        return created
+
+    def save_state(self) -> Dict[str, Tuple]:
+        return {name: s.save_state() for name, s in self._streams.items()}
+
+    def load_state(self, state: Dict[str, Tuple]) -> None:
+        for name, stream_state in state.items():
+            self.stream(name).load_state(stream_state)

@@ -1,0 +1,18 @@
+"""The Turret controller: branching, measurement, cost accounting."""
+
+from repro.controller.branching import (DistributedSnapshotter,
+                                        NetemTimingModel, WorldSnapshot)
+from repro.controller.costs import (BOOT, CATEGORIES, EXECUTION,
+                                    SNAPSHOT_RESTORE, SNAPSHOT_SAVE,
+                                    CostLedger)
+from repro.controller.harness import (AttackHarness, InjectionPoint,
+                                      TestbedFactory, TestbedInstance)
+from repro.controller.monitor import (AttackThreshold, PerfSample,
+                                      PerformanceMonitor)
+
+__all__ = [
+    "DistributedSnapshotter", "NetemTimingModel", "WorldSnapshot", "BOOT",
+    "CATEGORIES", "EXECUTION", "SNAPSHOT_RESTORE", "SNAPSHOT_SAVE",
+    "CostLedger", "AttackHarness", "InjectionPoint", "TestbedFactory",
+    "TestbedInstance", "AttackThreshold", "PerfSample", "PerformanceMonitor",
+]

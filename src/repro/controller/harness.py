@@ -1,0 +1,203 @@
+"""The controller: orchestrates executions, branching, and measurement.
+
+The controller "is a separate process that communicates with the network
+emulator and each individual VM" (Section IV-A).  :class:`AttackHarness`
+is that controller: it boots a testbed, runs it to attack injection points,
+takes distributed snapshots, branches once per candidate action, measures
+the observation window, and charges every second of platform time to a
+:class:`~repro.controller.costs.CostLedger`.
+
+Target systems plug in through a :class:`TestbedInstance` factory — a
+callable that, given a seed, builds a booted-ready world with its malicious
+proxy, schema, warmup duration, and observation window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.attacks.actions import MaliciousAction
+from repro.attacks.proxy import INJECTION_POINT, MaliciousProxy
+from repro.common.errors import SearchError
+from repro.common.ids import NodeId
+from repro.controller.branching import DistributedSnapshotter, WorldSnapshot
+from repro.controller.costs import (BOOT, EXECUTION, SNAPSHOT_RESTORE,
+                                    SNAPSHOT_SAVE, CostLedger)
+from repro.controller.monitor import (AttackThreshold, PerfSample,
+                                      PerformanceMonitor)
+from repro.runtime.world import World
+from repro.wire.schema import ProtocolSchema
+
+
+@dataclass
+class TestbedInstance:
+    """One built (not yet booted) deployment of a target system."""
+
+    name: str
+    world: World
+    proxy: MaliciousProxy
+    schema: ProtocolSchema
+    malicious: List[NodeId]
+    warmup: float = 3.0
+    window: float = 6.0
+    #: message types the search should consider (defaults to whole schema)
+    message_types: Optional[List[str]] = None
+
+    def search_types(self) -> List[str]:
+        if self.message_types is not None:
+            return list(self.message_types)
+        return self.schema.message_names()
+
+
+TestbedFactory = Callable[[int], TestbedInstance]
+
+
+@dataclass
+class InjectionPoint:
+    """Where an attack scenario begins: first send of the target type."""
+
+    message_type: str
+    time: float
+    src: NodeId
+    dst: NodeId
+    snapshot: WorldSnapshot
+
+
+class AttackHarness:
+    """Drives one testbed instance through branch-and-measure cycles."""
+
+    #: how long to wait for a message of the target type before giving up
+    DEFAULT_MAX_WAIT = 30.0
+
+    def __init__(self, factory: TestbedFactory, seed: int = 0,
+                 threshold: Optional[AttackThreshold] = None,
+                 shared_pages: bool = True,
+                 delta_snapshots: bool = False,
+                 ledger: Optional[CostLedger] = None) -> None:
+        self.factory = factory
+        self.seed = seed
+        self.threshold = threshold or AttackThreshold()
+        self.shared_pages = shared_pages
+        #: injection-point snapshots store only pages changed since the
+        #: warm snapshot (cheaper saves; see SnapshotManager.save_delta)
+        self.delta_snapshots = delta_snapshots
+        self.ledger = ledger or CostLedger()
+        self.instance: Optional[TestbedInstance] = None
+        self.snapshotter: Optional[DistributedSnapshotter] = None
+        self.monitor: Optional[PerformanceMonitor] = None
+        self.warm_snapshot: Optional[WorldSnapshot] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start_run(self, take_warm_snapshot: bool = True) -> TestbedInstance:
+        """Build, boot, and warm up a fresh instance of the testbed."""
+        self.instance = self.factory(self.seed)
+        world = self.instance.world
+        boot_time = world.boot()
+        self.ledger.charge(BOOT, boot_time)
+        self.snapshotter = DistributedSnapshotter(
+            world, shared_pages=self.shared_pages)
+        self.monitor = PerformanceMonitor(world.metrics)
+        self._run(self.instance.warmup)
+        if take_warm_snapshot:
+            self.warm_snapshot = self.take_snapshot()
+        return self.instance
+
+    def _require_instance(self) -> TestbedInstance:
+        if self.instance is None:
+            raise SearchError("harness has no running instance; call start_run")
+        return self.instance
+
+    @property
+    def world(self) -> World:
+        return self._require_instance().world
+
+    @property
+    def proxy(self) -> MaliciousProxy:
+        return self._require_instance().proxy
+
+    def _run(self, duration: float):
+        """Run the world for ``duration``, charging execution time."""
+        start = self.world.kernel.now
+        interrupt = self.world.run_for(duration)
+        self.ledger.charge(EXECUTION, self.world.kernel.now - start)
+        return interrupt
+
+    # -------------------------------------------------------------- snapshot
+
+    def take_snapshot(self) -> WorldSnapshot:
+        delta_base = None
+        if self.delta_snapshots and self.warm_snapshot is not None:
+            delta_base = self.warm_snapshot.cluster_snapshot
+        snapshot = self.snapshotter.save(delta_base=delta_base)
+        self.ledger.charge(SNAPSHOT_SAVE, snapshot.save_cost)
+        return snapshot
+
+    def restore(self, snapshot: WorldSnapshot) -> None:
+        cost = self.snapshotter.restore(snapshot)
+        self.ledger.charge(SNAPSHOT_RESTORE, cost)
+
+    # ------------------------------------------------------------ injection
+
+    def run_to_injection(self, message_type: str,
+                         max_wait: Optional[float] = None
+                         ) -> Optional[InjectionPoint]:
+        """Arm the proxy and run until the target type is intercepted.
+
+        Returns the injection point (with the world snapshotted while the
+        message is held inside the emulator), or None if no message of that
+        type was sent within ``max_wait`` — the wasted execution is charged,
+        as it would be on the real platform.
+        """
+        instance = self._require_instance()
+        wait = max_wait if max_wait is not None else self.DEFAULT_MAX_WAIT
+        deadline = self.world.kernel.now + wait
+        instance.proxy.arm(message_type)
+        while True:
+            start = self.world.kernel.now
+            interrupt = self.world.run_until(deadline)
+            self.ledger.charge(EXECUTION, self.world.kernel.now - start)
+            if interrupt is None:
+                instance.proxy.disarm()
+                return None
+            if interrupt.reason != INJECTION_POINT:
+                continue
+            info = interrupt.payload
+            snapshot = self.take_snapshot()
+            return InjectionPoint(info["message_type"], info["time"],
+                                  info["src"], info["dst"], snapshot)
+
+    # ----------------------------------------------------------- branching
+
+    def branch_measure(self, injection: InjectionPoint,
+                       action: Optional[MaliciousAction]) -> PerfSample:
+        """Measure one branch: restore, apply ``action``, run the window.
+
+        ``action`` None measures the baseline branch (the held message is
+        released unmodified and no policy is installed).
+        """
+        instance = self._require_instance()
+        self.restore(injection.snapshot)
+        instance.proxy.disarm()
+        instance.proxy.clear_policy()
+        if action is not None:
+            instance.proxy.set_policy(injection.message_type, action)
+        instance.proxy.release_held(action)
+        self._run(instance.window)
+        instance.proxy.clear_policy()
+        crashed = len(self.world.crashed_nodes())
+        return self.monitor.sample(injection.time,
+                                   injection.time + instance.window,
+                                   crashed_nodes=crashed)
+
+    # -------------------------------------------------------------- measure
+
+    def measure_window(self, window: Optional[float] = None) -> PerfSample:
+        """Run and measure a window from 'now' (no branching)."""
+        instance = self._require_instance()
+        w = window if window is not None else instance.window
+        start = self.world.kernel.now
+        self._run(w)
+        crashed = len(self.world.crashed_nodes())
+        return self.monitor.sample(start, start + w, crashed_nodes=crashed)

@@ -1,0 +1,78 @@
+"""Performance observation and the attack decision rule.
+
+Definition 1 of the paper: a performance attack is a set of protocol
+deviations by malicious nodes "resulting in a performance that is worse by
+some Δ than in benign scenarios."  The monitor turns the metrics collector's
+event stream into windowed :class:`PerfSample` values and applies the Δ
+rule; node crashes caused by an action are always classified as attacks
+(the paper reports them as a separate, most severe category).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.ids import NodeId
+from repro.metrics.collector import UPDATE_DONE, MetricsCollector
+
+
+@dataclass(frozen=True)
+class PerfSample:
+    """Application performance observed over one window."""
+
+    start: float
+    end: float
+    throughput: float          # updates completed per second
+    latency_min: float
+    latency_avg: float
+    latency_max: float
+    crashed_nodes: int = 0
+
+    @property
+    def window(self) -> float:
+        return self.end - self.start
+
+    def describe(self) -> str:
+        out = (f"{self.throughput:.2f} upd/s, "
+               f"lat {self.latency_avg * 1000:.2f} ms")
+        if self.crashed_nodes:
+            out += f", {self.crashed_nodes} crashed"
+        return out
+
+
+@dataclass(frozen=True)
+class AttackThreshold:
+    """The Δ rule: how much degradation counts as an attack."""
+
+    #: fraction of baseline throughput that must be lost (0.25 = 25%)
+    delta: float = 0.25
+    #: crashes of benign nodes are attacks regardless of throughput
+    crash_is_attack: bool = True
+
+    def damage(self, baseline: PerfSample, sample: PerfSample) -> float:
+        """Relative throughput degradation (1.0 = total loss)."""
+        if baseline.throughput <= 0:
+            return 1.0 if sample.crashed_nodes > baseline.crashed_nodes else 0.0
+        loss = (baseline.throughput - sample.throughput) / baseline.throughput
+        return max(0.0, min(1.0, loss))
+
+    def is_attack(self, baseline: PerfSample, sample: PerfSample) -> bool:
+        if (self.crash_is_attack
+                and sample.crashed_nodes > baseline.crashed_nodes):
+            return True
+        return self.damage(baseline, sample) > self.delta
+
+
+class PerformanceMonitor:
+    """Windowed view over a world's metrics collector."""
+
+    def __init__(self, metrics: MetricsCollector) -> None:
+        self.metrics = metrics
+
+    def sample(self, start: float, end: float,
+               crashed_nodes: int = 0) -> PerfSample:
+        throughput = self.metrics.throughput(start, end)
+        lat_min, lat_avg, lat_max = self.metrics.latency_stats(start, end)
+        return PerfSample(start, end, throughput, lat_min, lat_avg, lat_max,
+                          crashed_nodes)

@@ -1,0 +1,5 @@
+"""Performance metrics: collection and windowed throughput/latency queries."""
+
+from repro.metrics.collector import UPDATE_DONE, MetricEvent, MetricsCollector
+
+__all__ = ["UPDATE_DONE", "MetricEvent", "MetricsCollector"]

@@ -1,0 +1,18 @@
+"""Network emulation: devices, topologies, packets, transports, emulator."""
+
+from repro.netem.devices import (BundledDevice, CsmaDevice, DeviceStats,
+                                 NetDevice, make_device)
+from repro.netem.emulator import (Delivery, EmulatorStats, HostPort,
+                                  NetworkEmulator, Verdict)
+from repro.netem.packets import (HEADER_BYTES, MTU, MessageEnvelope, Packet,
+                                 ReassemblyBuffer, fragment)
+from repro.netem.topology import LanTopology, PathSpec, SiteTopology, Topology
+from repro.netem.transport import TCP, UDP, HostTransport
+
+__all__ = [
+    "BundledDevice", "CsmaDevice", "DeviceStats", "NetDevice", "make_device",
+    "Delivery", "EmulatorStats", "HostPort", "NetworkEmulator", "Verdict",
+    "HEADER_BYTES", "MTU", "MessageEnvelope", "Packet", "ReassemblyBuffer",
+    "fragment", "LanTopology", "PathSpec", "SiteTopology", "Topology", "TCP",
+    "UDP", "HostTransport",
+]

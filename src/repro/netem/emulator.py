@@ -1,0 +1,458 @@
+"""The network emulator.
+
+This is the reproduction of the paper's modified NS3: it carries every
+message of the distributed system as packets over emulated devices and
+links, exposes the ingress interception hook the malicious proxy plugs into,
+and supports the four operations the paper had to add for execution
+branching — **save**, **load**, **freeze**, and **resume**.
+
+Mechanics of a transmission (``transmit``):
+
+1. The source transport hands the emulator a message payload.
+2. If an interceptor is installed and claims the message, its verdict is
+   applied: pass, drop, rewrite into a set of (possibly delayed, diverted,
+   duplicated, or mutated) deliveries, or *hold* — park the message and
+   interrupt the kernel so the controller can branch at this injection point.
+3. Each delivery is fragmented into MTU packets; packets pass through the
+   source host's net device (serial per-packet processing — the Fig. 4
+   bottleneck) and then the path's propagation delay and bandwidth.
+4. At the destination the message is reassembled and handed to the host's
+   receiver callback.
+
+Every in-flight item (pending egress, packet on the wire, partial
+reassembly, held or frozen messages) is tracked as plain data so the whole
+emulator state can be saved and reloaded, and freezing stops any further
+delivery to hosts while still accepting new transmissions — the same
+behaviour the paper implements inside NS3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import NetworkError
+from repro.common.ids import NodeId
+from repro.common.logging import EventLog
+from repro.sim.events import PRIORITY_NETWORK
+from repro.sim.kernel import SimKernel
+from repro.netem.devices import BundledDevice, NetDevice, make_device
+from repro.netem.packets import (MessageEnvelope, Packet, ReassemblyBuffer,
+                                 envelope_from_record, envelope_to_record,
+                                 fragment, packet_from_record,
+                                 packet_to_record)
+from repro.netem.topology import LanTopology, Topology
+
+Receiver = Callable[[MessageEnvelope], None]
+
+
+@dataclass
+class Delivery:
+    """One outgoing copy of an intercepted message."""
+
+    dst: NodeId
+    payload: bytes
+    extra_delay: float = 0.0
+
+
+class Verdict:
+    """Interceptor decision for one message."""
+
+    PASS = "pass"
+    DROP = "drop"
+    REWRITE = "rewrite"
+    HOLD = "hold"
+
+    def __init__(self, kind: str, deliveries: Optional[List[Delivery]] = None,
+                 hold_tag: Optional[str] = None) -> None:
+        self.kind = kind
+        self.deliveries = deliveries or []
+        self.hold_tag = hold_tag
+
+    @classmethod
+    def passthrough(cls) -> "Verdict":
+        return cls(cls.PASS)
+
+    @classmethod
+    def drop(cls) -> "Verdict":
+        return cls(cls.DROP)
+
+    @classmethod
+    def rewrite(cls, deliveries: List[Delivery]) -> "Verdict":
+        return cls(cls.REWRITE, deliveries=deliveries)
+
+    @classmethod
+    def hold(cls, tag: str) -> "Verdict":
+        return cls(cls.HOLD, hold_tag=tag)
+
+
+Interceptor = Callable[[MessageEnvelope], Verdict]
+
+
+@dataclass
+class HostPort:
+    """Emulator-side state of one attached host."""
+
+    node_id: NodeId
+    device: NetDevice
+    receiver: Optional[Receiver] = None
+    reassembly: ReassemblyBuffer = field(default_factory=ReassemblyBuffer)
+    messages_in: int = 0
+    messages_out: int = 0
+    packets_in: int = 0
+
+
+@dataclass
+class EmulatorStats:
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped_by_proxy: int = 0
+    messages_blackholed: int = 0
+    packets_forwarded: int = 0
+    packets_dropped_overflow: int = 0
+
+
+class NetworkEmulator:
+    """Message- and packet-level network emulation on the sim kernel."""
+
+    def __init__(self, kernel: SimKernel, topology: Optional[Topology] = None,
+                 device_kind: str = "BundledDevice",
+                 log: Optional[EventLog] = None) -> None:
+        self.kernel = kernel
+        self.topology = topology or LanTopology()
+        self.device_kind = device_kind
+        self.log = log or EventLog(lambda: kernel.now)
+        self._hosts: Dict[NodeId, HostPort] = {}
+        self._interceptor: Optional[Interceptor] = None
+        self._msg_seq = 0
+        self._event_seq = 0
+        self._frozen = False
+        # In-flight bookkeeping: eid -> (kind, due_time, record); kinds are
+        # "egress" (message awaiting device admission, possibly delayed by a
+        # proxy action) and "deliver" (packet crossing the wire).
+        self._in_flight: Dict[int, Tuple[str, float, tuple]] = {}
+        self._handles: Dict[int, object] = {}
+        # Messages parked by a HOLD verdict: tag -> envelope record.
+        self._held: Dict[str, tuple] = {}
+        # Deliveries that arrived while frozen: list of packet records.
+        self._frozen_packets: List[tuple] = []
+        # Transmissions accepted while frozen: (envelope record, delay,
+        # via_device) triples.
+        self._frozen_egress: List[Tuple[tuple, float, bool]] = []
+        # Controller-side observers: fn(event, envelope) on "sent" and
+        # "delivered".  Not part of emulator state (never serialized).
+        self._observers: List[Callable[[str, MessageEnvelope], None]] = []
+        self.stats = EmulatorStats()
+
+    # ----------------------------------------------------------------- hosts
+
+    def register_host(self, node_id: NodeId,
+                      device: Optional[NetDevice] = None) -> HostPort:
+        if node_id in self._hosts:
+            raise NetworkError(f"host {node_id} already registered")
+        port = HostPort(node_id, device or make_device(self.device_kind))
+        self._hosts[node_id] = port
+        return port
+
+    def set_receiver(self, node_id: NodeId, receiver: Receiver) -> None:
+        self._port(node_id).receiver = receiver
+
+    def _port(self, node_id: NodeId) -> HostPort:
+        try:
+            return self._hosts[node_id]
+        except KeyError:
+            raise NetworkError(f"host {node_id} is not registered") from None
+
+    def hosts(self) -> List[NodeId]:
+        return sorted(self._hosts.keys())
+
+    def port_stats(self, node_id: NodeId) -> HostPort:
+        return self._port(node_id)
+
+    # ------------------------------------------------------------ intercept
+
+    def set_interceptor(self, interceptor: Optional[Interceptor]) -> None:
+        self._interceptor = interceptor
+
+    # ------------------------------------------------------------ observers
+
+    def add_observer(self,
+                     observer: Callable[[str, MessageEnvelope], None]) -> None:
+        """Subscribe to "sent"/"delivered" message events (read-only)."""
+        self._observers.append(observer)
+
+    def _notify(self, event: str, envelope: MessageEnvelope) -> None:
+        for observer in self._observers:
+            observer(event, envelope)
+
+    # ------------------------------------------------------------- transmit
+
+    def transmit(self, src: NodeId, dst: NodeId, transport: str,
+                 payload: bytes, delay: float = 0.0) -> int:
+        """Send one application message from ``src`` to ``dst``.
+
+        ``delay`` postpones egress (used by transports to model connection
+        setup); the interceptor still sees the message at send time, as the
+        proxy sits where traffic leaves the sending VM.
+        """
+        self._port(src)  # the sender must be attached: a platform invariant
+        if dst not in self._hosts:
+            # An address nothing listens on (e.g. a lying attack rewrote a
+            # node-id field): the network blackholes it, as a real LAN would.
+            self.stats.messages_blackholed += 1
+            return -1
+        self._msg_seq += 1
+        envelope = MessageEnvelope(self._msg_seq, src, dst, transport, payload)
+        self._port(src).messages_out += 1
+        self.stats.messages_sent += 1
+        if self._observers:
+            self._notify("sent", envelope)
+
+        verdict = Verdict.passthrough()
+        if self._interceptor is not None:
+            verdict = self._interceptor(envelope)
+
+        if verdict.kind == Verdict.DROP:
+            self.stats.messages_dropped_by_proxy += 1
+            self.log.emit("netem", "proxy_drop", msg=envelope.msg_seq)
+        elif verdict.kind == Verdict.HOLD:
+            self._held[verdict.hold_tag] = envelope_to_record(envelope)
+            self.log.emit("netem", "proxy_hold", msg=envelope.msg_seq,
+                          tag=verdict.hold_tag)
+        elif verdict.kind == Verdict.REWRITE:
+            # Proxy-produced deliveries are injected inside the emulator,
+            # past the sending host's net device (the proxy lives at the
+            # NS3 node's application layer, not in the guest).
+            for delivery in verdict.deliveries:
+                self._submit_egress(
+                    MessageEnvelope(envelope.msg_seq, src, delivery.dst,
+                                    transport, delivery.payload),
+                    delay + delivery.extra_delay, via_device=False)
+        else:
+            self._submit_egress(envelope, delay)
+        return envelope.msg_seq
+
+    # ---------------------------------------------------------- held messages
+
+    def held_tags(self) -> List[str]:
+        return sorted(self._held.keys())
+
+    def peek_held(self, tag: str) -> MessageEnvelope:
+        try:
+            return envelope_from_record(self._held[tag])
+        except KeyError:
+            raise NetworkError(f"no held message tagged {tag!r}") from None
+
+    def release_held(self, tag: str,
+                     deliveries: Optional[List[Delivery]] = None) -> None:
+        """Release a parked message, optionally rewritten by the controller."""
+        envelope = self.peek_held(tag)
+        del self._held[tag]
+        if deliveries is None:
+            self._submit_egress(envelope, 0.0, via_device=False)
+            return
+        if not deliveries:
+            self.stats.messages_dropped_by_proxy += 1
+            return
+        for delivery in deliveries:
+            self._submit_egress(
+                MessageEnvelope(envelope.msg_seq, envelope.src, delivery.dst,
+                                envelope.transport, delivery.payload),
+                delivery.extra_delay, via_device=False)
+
+    def drop_held(self, tag: str) -> None:
+        self.peek_held(tag)
+        del self._held[tag]
+        self.stats.messages_dropped_by_proxy += 1
+
+    # ------------------------------------------------------------- internals
+
+    def _next_eid(self) -> int:
+        self._event_seq += 1
+        return self._event_seq
+
+    def _submit_egress(self, envelope: MessageEnvelope, delay: float,
+                       via_device: bool = True) -> None:
+        if self._frozen:
+            self._frozen_egress.append(
+                (envelope_to_record(envelope), delay, via_device))
+            return
+        if delay > 0:
+            eid = self._next_eid()
+            due = self.kernel.now + delay
+            record = (envelope_to_record(envelope), via_device)
+            self._in_flight[eid] = ("egress", due, record)
+            self._handles[eid] = self.kernel.schedule(
+                delay, self._egress_due, eid, priority=PRIORITY_NETWORK)
+        else:
+            self._egress_now(envelope, via_device)
+
+    def _egress_due(self, eid: int) -> None:
+        entry = self._in_flight.pop(eid, None)
+        self._handles.pop(eid, None)
+        if entry is None:
+            return
+        __, __, record = entry
+        env_record, via_device = record
+        self._egress_now(envelope_from_record(tuple(env_record)), via_device)
+
+    #: retransmission timeout for TCP packets lost to device overflow
+    TCP_RTO = 0.2
+
+    def _egress_now(self, envelope: MessageEnvelope,
+                    via_device: bool = True) -> None:
+        """Push a message through the source device onto the wire."""
+        for packet in fragment(envelope):
+            self._admit_packet(packet, via_device)
+
+    def _admit_packet(self, packet: Packet, via_device: bool = True) -> None:
+        port = self._port(packet.src)
+        path = self.topology.path(packet.src, packet.dst)
+        if not via_device:
+            arrival = (self.kernel.now + path.delay
+                       + packet.wire_size / path.bandwidth)
+            eid = self._next_eid()
+            self._in_flight[eid] = ("deliver", arrival, packet_to_record(packet))
+            self._handles[eid] = self.kernel.schedule_at(
+                arrival, self._deliver_due, eid, priority=PRIORITY_NETWORK)
+            self.stats.packets_forwarded += 1
+            return
+        finish = port.device.admit(self.kernel.now, packet)
+        if finish is None:
+            self.stats.packets_dropped_overflow += 1
+            if packet.transport == "tcp":
+                # TCP senders retransmit after an RTO; our links never
+                # corrupt, so overflow at the device is the only loss.
+                eid = self._next_eid()
+                due = self.kernel.now + self.TCP_RTO
+                self._in_flight[eid] = ("retry", due, packet_to_record(packet))
+                self._handles[eid] = self.kernel.schedule_at(
+                    due, self._retry_due, eid, priority=PRIORITY_NETWORK)
+            return
+        arrival = finish + path.delay + packet.wire_size / path.bandwidth
+        eid = self._next_eid()
+        record = packet_to_record(packet)
+        self._in_flight[eid] = ("deliver", arrival, record)
+        self._handles[eid] = self.kernel.schedule_at(
+            arrival, self._deliver_due, eid, priority=PRIORITY_NETWORK)
+        self.stats.packets_forwarded += 1
+
+    def _retry_due(self, eid: int) -> None:
+        entry = self._in_flight.pop(eid, None)
+        self._handles.pop(eid, None)
+        if entry is None:
+            return
+        __, __, record = entry
+        self._admit_packet(packet_from_record(record))
+
+    def _deliver_due(self, eid: int) -> None:
+        entry = self._in_flight.pop(eid, None)
+        self._handles.pop(eid, None)
+        if entry is None:
+            return
+        __, __, record = entry
+        if self._frozen:
+            # The emulator keeps creating packet objects while frozen but
+            # sends nothing to the VMs (Section III-C / IV-C).
+            self._frozen_packets.append(record)
+            return
+        self._ingress(packet_from_record(record))
+
+    def _ingress(self, packet: Packet) -> None:
+        port = self._port(packet.dst)
+        port.packets_in += 1
+        envelope = port.reassembly.add(packet)
+        if envelope is None:
+            return
+        port.messages_in += 1
+        self.stats.messages_delivered += 1
+        self.log.emit("netem", "deliver", msg=envelope.msg_seq,
+                      dst=str(envelope.dst), size=envelope.size)
+        if self._observers:
+            self._notify("delivered", envelope)
+        if port.receiver is not None:
+            port.receiver(envelope)
+
+    # -------------------------------------------------------- freeze/resume
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Stop delivering to hosts; keep accepting and parking new traffic."""
+        self._frozen = True
+
+    def resume_emulation(self) -> None:
+        """Leave frozen mode and flush everything parked while frozen."""
+        self._frozen = False
+        packets, self._frozen_packets = self._frozen_packets, []
+        for record in packets:
+            self._ingress(packet_from_record(record))
+        egress, self._frozen_egress = self._frozen_egress, []
+        for record, delay, via_device in egress:
+            self._submit_egress(envelope_from_record(record), delay, via_device)
+
+    # --------------------------------------------------------- save/load
+
+    def save_state(self) -> dict:
+        """Serialize all in-flight network state to plain data."""
+        return {
+            "msg_seq": self._msg_seq,
+            "event_seq": self._event_seq,
+            "frozen": self._frozen,
+            "in_flight": [
+                (eid, kind, due, record)
+                for eid, (kind, due, record) in sorted(self._in_flight.items())
+            ],
+            "held": dict(self._held),
+            "frozen_packets": list(self._frozen_packets),
+            "frozen_egress": list(self._frozen_egress),
+            "devices": {str(n): p.device.save_state()
+                        for n, p in self._hosts.items()},
+            "reassembly": {str(n): p.reassembly.save_state()
+                           for n, p in self._hosts.items()},
+            "counters": {str(n): (p.messages_in, p.messages_out, p.packets_in)
+                         for n, p in self._hosts.items()},
+            "stats": (self.stats.messages_sent, self.stats.messages_delivered,
+                      self.stats.messages_dropped_by_proxy,
+                      self.stats.messages_blackholed,
+                      self.stats.packets_forwarded,
+                      self.stats.packets_dropped_overflow),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore in-flight state and re-schedule deliveries on the kernel."""
+        for handle in self._handles.values():
+            handle.cancel()
+        self._handles.clear()
+        self._in_flight.clear()
+
+        self._msg_seq = state["msg_seq"]
+        self._event_seq = state["event_seq"]
+        self._frozen = state["frozen"]
+        self._held = dict(state["held"])
+        self._frozen_packets = list(state["frozen_packets"])
+        self._frozen_egress = [(tuple(r), d, v)
+                               for r, d, v in state["frozen_egress"]]
+
+        by_str = {str(n): p for n, p in self._hosts.items()}
+        for name, dev_state in state["devices"].items():
+            by_str[name].device.load_state(dev_state)
+        for name, reasm_state in state["reassembly"].items():
+            by_str[name].reassembly.load_state(reasm_state)
+        for name, (m_in, m_out, p_in) in state["counters"].items():
+            port = by_str[name]
+            port.messages_in, port.messages_out, port.packets_in = m_in, m_out, p_in
+        (self.stats.messages_sent, self.stats.messages_delivered,
+         self.stats.messages_dropped_by_proxy, self.stats.messages_blackholed,
+         self.stats.packets_forwarded,
+         self.stats.packets_dropped_overflow) = state["stats"]
+
+        callbacks = {"egress": self._egress_due, "deliver": self._deliver_due,
+                     "retry": self._retry_due}
+        for eid, kind, due, record in state["in_flight"]:
+            self._in_flight[eid] = (kind, due, tuple(record))
+            when = max(due, self.kernel.now)
+            self._handles[eid] = self.kernel.schedule_at(
+                when, callbacks[kind], eid, priority=PRIORITY_NETWORK)

@@ -1,0 +1,81 @@
+"""Network topologies.
+
+A topology answers, for an ordered pair of hosts, the propagation delay and
+bandwidth of the path between them.  The paper's evaluation uses "a LAN
+setting with 1 ms delay between each node"; Steward-style wide-area
+experiments group hosts into sites with a larger inter-site delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import NetworkError
+from repro.common.ids import NodeId
+from repro.common.units import mbit_per_sec, millis
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    delay: float         # one-way propagation delay, seconds
+    bandwidth: float     # bytes/second
+
+
+class Topology:
+    """Base topology: uniform delay/bandwidth with optional overrides."""
+
+    def __init__(self, delay: float = millis(1),
+                 bandwidth: float = mbit_per_sec(100)) -> None:
+        if delay < 0:
+            raise NetworkError("delay must be non-negative")
+        if bandwidth <= 0:
+            raise NetworkError("bandwidth must be positive")
+        self.default = PathSpec(delay, bandwidth)
+        self._overrides: Dict[Tuple[NodeId, NodeId], PathSpec] = {}
+
+    def set_path(self, src: NodeId, dst: NodeId, delay: float,
+                 bandwidth: Optional[float] = None) -> None:
+        spec = PathSpec(delay, bandwidth or self.default.bandwidth)
+        self._overrides[(src, dst)] = spec
+
+    def path(self, src: NodeId, dst: NodeId) -> PathSpec:
+        if src == dst:
+            return PathSpec(0.0, self.default.bandwidth)
+        return self._overrides.get((src, dst), self.default)
+
+
+class LanTopology(Topology):
+    """The paper's evaluation network: 1 ms between every pair of hosts."""
+
+    def __init__(self, delay: float = millis(1),
+                 bandwidth: float = mbit_per_sec(100)) -> None:
+        super().__init__(delay, bandwidth)
+
+
+class SiteTopology(Topology):
+    """Hosts grouped into sites: fast intra-site, slow inter-site paths.
+
+    Used for Steward-style wide-area deployments where each site is a LAN
+    and sites are linked by WAN paths.
+    """
+
+    def __init__(self, site_of: Dict[NodeId, int],
+                 intra_delay: float = millis(1),
+                 inter_delay: float = millis(50),
+                 bandwidth: float = mbit_per_sec(100),
+                 wan_bandwidth: float = mbit_per_sec(10)) -> None:
+        super().__init__(intra_delay, bandwidth)
+        self.site_of = dict(site_of)
+        self.inter = PathSpec(inter_delay, wan_bandwidth)
+
+    def path(self, src: NodeId, dst: NodeId) -> PathSpec:
+        if src == dst:
+            return PathSpec(0.0, self.default.bandwidth)
+        src_site = self.site_of.get(src)
+        dst_site = self.site_of.get(dst)
+        if src_site is None or dst_site is None:
+            raise NetworkError(f"host {src} or {dst} not assigned to a site")
+        if src_site == dst_site:
+            return self.default
+        return self.inter

@@ -1,0 +1,88 @@
+"""Host transports: UDP and TCP message services.
+
+The systems under test implement their protocols at the application level
+over either UDP (PBFT's implementation) or TCP.  Both transports here are
+message-oriented facades over the emulator:
+
+* **UDP** — fire and forget; a message becomes datagram fragments and is
+  delivered if all fragments survive.
+* **TCP** — connection setup costs one round trip before the first message
+  of a flow flows; packets lost to device-queue overflow are retransmitted
+  after an RTO (the emulator's links themselves never corrupt).  Because the
+  paper's malicious proxy *terminates* TCP at the emulated application layer
+  (Section IV-B), a message dropped or delayed by the proxy does not stall
+  the rest of the stream — delivery order is the proxy's release order.
+
+Both are fully serializable; flow state participates in emulator save/load
+via :meth:`HostTransport.save_state`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import TransportError
+from repro.common.ids import NodeId
+from repro.netem.emulator import NetworkEmulator
+from repro.netem.packets import MessageEnvelope
+
+UDP = "udp"
+TCP = "tcp"
+
+MessageHandler = Callable[[NodeId, bytes], None]
+
+
+class HostTransport:
+    """Per-host transport endpoint multiplexing UDP and TCP services."""
+
+    #: one round trip of handshake before the first byte of a new TCP flow
+    TCP_HANDSHAKE_RTTS = 1.0
+
+    def __init__(self, emulator: NetworkEmulator, node_id: NodeId) -> None:
+        self.emulator = emulator
+        self.node_id = node_id
+        self._handlers: Dict[str, MessageHandler] = {}
+        self._tcp_established: Dict[str, bool] = {}
+        emulator.set_receiver(node_id, self._on_envelope)
+
+    # ------------------------------------------------------------------ bind
+
+    def bind(self, transport: str, handler: MessageHandler) -> None:
+        if transport not in (UDP, TCP):
+            raise TransportError(f"unknown transport {transport!r}")
+        self._handlers[transport] = handler
+
+    # ------------------------------------------------------------------ send
+
+    def send(self, dst: NodeId, data: bytes, transport: str = UDP) -> int:
+        if transport == UDP:
+            return self.emulator.transmit(self.node_id, dst, UDP, data)
+        if transport == TCP:
+            key = self._flow_key(dst)
+            delay = 0.0
+            if not self._tcp_established.get(key, False):
+                path = self.emulator.topology.path(self.node_id, dst)
+                delay = self.TCP_HANDSHAKE_RTTS * 2 * path.delay
+                self._tcp_established[key] = True
+            return self.emulator.transmit(self.node_id, dst, TCP, data,
+                                          delay=delay)
+        raise TransportError(f"unknown transport {transport!r}")
+
+    def _flow_key(self, dst: NodeId) -> str:
+        return f"{dst.role}:{dst.index}"
+
+    # --------------------------------------------------------------- receive
+
+    def _on_envelope(self, envelope: MessageEnvelope) -> None:
+        handler = self._handlers.get(envelope.transport)
+        if handler is None:
+            return  # no bound service: the datagram is silently discarded
+        handler(envelope.src, envelope.payload)
+
+    # -------------------------------------------------------------- snapshot
+
+    def save_state(self) -> dict:
+        return {"tcp_established": dict(self._tcp_established)}
+
+    def load_state(self, state: dict) -> None:
+        self._tcp_established = dict(state["tcp_established"])

@@ -1,0 +1,8 @@
+"""Node runtime: applications, timers, CPU model, world assembly."""
+
+from repro.runtime.app import Application
+from repro.runtime.cpu import CpuCostModel, SerialCpu
+from repro.runtime.node import Node
+from repro.runtime.world import World
+
+__all__ = ["Application", "CpuCostModel", "SerialCpu", "Node", "World"]

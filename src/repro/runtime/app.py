@@ -1,0 +1,80 @@
+"""Application base class for systems under test.
+
+A target system participant subclasses :class:`Application` and implements
+the message-event model of Section II-A: it reacts to delivered messages and
+timer expirations, sends messages through its node runtime, and never shares
+memory with other participants.
+
+Contract for execution branching: ``snapshot_state``/``restore_state`` must
+round-trip the *entire* protocol state through plain picklable data.  Every
+target system's tests include a branch-determinism check that fails if a
+field is forgotten.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.common.ids import NodeId
+from repro.wire.codec import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.node import Node
+
+
+class Application:
+    """Base class for the per-node logic of a system under test."""
+
+    def __init__(self) -> None:
+        self.node: "Node" = None  # injected by Node.attach
+
+    # ---------------------------------------------------------------- hooks
+
+    def on_start(self) -> None:
+        """Called once when the node boots."""
+
+    def on_message(self, src: NodeId, message: Message) -> None:
+        """Called when a message has been delivered and processed by the CPU."""
+
+    def on_timer(self, name: str) -> None:
+        """Called when the named timer expires."""
+
+    def on_ingress(self, src: NodeId, size: int) -> bool:
+        """Admission control before any CPU is spent on a message.
+
+        Robust systems (Aardvark) isolate per-sender resources; returning
+        False drops the message for a token cost instead of letting it
+        consume full processing.  Default: accept everything.
+        """
+        return True
+
+    # ------------------------------------------------------------ utilities
+
+    @property
+    def node_id(self) -> NodeId:
+        return self.node.node_id
+
+    def now(self) -> float:
+        return self.node.now()
+
+    def send(self, dst: NodeId, message: Message) -> None:
+        self.node.send(dst, message)
+
+    def broadcast(self, message: Message, include_self: bool = False) -> None:
+        self.node.broadcast(message, include_self=include_self)
+
+    def set_timer(self, name: str, delay: float, periodic: bool = False) -> None:
+        self.node.set_timer(name, delay, periodic)
+
+    def cancel_timer(self, name: str) -> None:
+        self.node.cancel_timer(name)
+
+    # -------------------------------------------------------------- snapshot
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Return the full protocol state as plain picklable data."""
+        raise NotImplementedError
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Rebuild protocol state from :meth:`snapshot_state` output."""
+        raise NotImplementedError

@@ -1,0 +1,290 @@
+"""The node runtime: glue between an application and the platform.
+
+A :class:`Node` gives one :class:`~repro.runtime.app.Application` its
+execution environment: message delivery through the emulated network and the
+serial CPU, named timers, deterministic per-node randomness, crash
+containment (a :class:`~repro.common.errors.TargetSystemFault` raised by app
+code marks the node crashed, like a segfault would kill the process in the
+guest), and full state serialization for execution branching.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import CodecError, TargetSystemFault
+from repro.common.ids import NodeId
+from repro.common.logging import EventLog
+from repro.common.rng import RandomStream
+from repro.sim.events import PRIORITY_CPU, PRIORITY_TIMER
+from repro.sim.kernel import SimKernel
+from repro.netem.emulator import NetworkEmulator
+from repro.netem.transport import HostTransport, TCP, UDP
+from repro.runtime.app import Application
+from repro.runtime.cpu import CpuCostModel, SerialCpu
+from repro.wire.codec import Message, ProtocolCodec
+
+MetricSink = Callable[[float, NodeId, str, float], None]
+
+
+def _node_record(node_id: NodeId) -> tuple:
+    return (node_id.index, node_id.role)
+
+
+def _node_from_record(record: tuple) -> NodeId:
+    return NodeId(record[0], record[1])
+
+
+class Node:
+    """Runtime container for one participant of the system under test."""
+
+    def __init__(self, node_id: NodeId, kernel: SimKernel,
+                 emulator: NetworkEmulator, codec: ProtocolCodec,
+                 rng: RandomStream,
+                 cost_model: Optional[CpuCostModel] = None,
+                 default_transport: str = UDP,
+                 log: Optional[EventLog] = None,
+                 metric_sink: Optional[MetricSink] = None) -> None:
+        self.node_id = node_id
+        self.kernel = kernel
+        self.emulator = emulator
+        self.codec = codec
+        self.rng = rng
+        self.default_transport = default_transport
+        self.log = log or EventLog(lambda: kernel.now)
+        self.metric_sink = metric_sink
+
+        self.transport = HostTransport(emulator, node_id)
+        self.transport.bind(UDP, self._on_network_message)
+        self.transport.bind(TCP, self._on_network_message)
+        self.cpu = SerialCpu(cost_model)
+        #: extra CPU charged when processing specific message types
+        #: (e.g. a Status message triggers a log scan)
+        self.type_costs: Dict[str, float] = {}
+
+        self.app: Optional[Application] = None
+        self.peers: List[NodeId] = []
+        self.started = False
+        self.crashed = False
+        self.crash_reason = ""
+        self.malformed_dropped = 0
+        #: drop exact duplicates of recently seen payloads at admission
+        self.ingress_dedup = False
+        self.duplicates_dropped = 0
+        self._dedup_set = set()
+        self._dedup_fifo = []
+
+        # Timers: name -> (deadline, period); period 0.0 means one-shot.
+        self._timers: Dict[str, Tuple[float, float]] = {}
+        self._timer_handles: Dict[str, object] = {}
+        # CPU work in flight: eid -> (due, src record, payload).
+        self._pending: Dict[int, Tuple[float, tuple, bytes]] = {}
+        self._pending_handles: Dict[int, object] = {}
+        self._pending_seq = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def attach(self, app: Application) -> None:
+        self.app = app
+        app.node = self
+
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        self._guard(self.app.on_start)
+
+    def now(self) -> float:
+        return self.kernel.now
+
+    # ----------------------------------------------------------------- crash
+
+    def _crash(self, exc: TargetSystemFault) -> None:
+        self.crashed = True
+        self.crash_reason = f"{type(exc).__name__}: {exc}"
+        for handle in self._timer_handles.values():
+            handle.cancel()
+        self._timer_handles.clear()
+        self._timers.clear()
+        for handle in self._pending_handles.values():
+            handle.cancel()
+        self._pending_handles.clear()
+        self._pending.clear()
+        self.log.emit(str(self.node_id), "crash", reason=self.crash_reason)
+
+    def _guard(self, fn: Callable, *args: Any) -> None:
+        """Run app code, converting target faults into a crashed node."""
+        try:
+            fn(*args)
+        except TargetSystemFault as exc:
+            self._crash(exc)
+
+    # ------------------------------------------------------------------ send
+
+    def send(self, dst: NodeId, message: Message,
+             transport: Optional[str] = None) -> None:
+        if self.crashed:
+            return
+        payload = self.codec.encode(message)
+        self.cpu.charge(self.kernel.now, self.cpu.cost_model.send_cost)
+        self.transport.send(dst, payload, transport or self.default_transport)
+        self.log.emit(str(self.node_id), "send", dst=str(dst),
+                      type=message.type_name)
+
+    def broadcast(self, message: Message, include_self: bool = False) -> None:
+        for peer in self.peers:
+            if peer == self.node_id and not include_self:
+                continue
+            self.send(peer, message)
+
+    # ---------------------------------------------------------------- timers
+
+    def set_timer(self, name: str, delay: float, periodic: bool = False) -> None:
+        if self.crashed:
+            return
+        self.cancel_timer(name)
+        deadline = self.kernel.now + delay
+        period = delay if periodic else 0.0
+        self._timers[name] = (deadline, period)
+        self._timer_handles[name] = self.kernel.schedule(
+            delay, self._timer_fired, name, priority=PRIORITY_TIMER)
+
+    def cancel_timer(self, name: str) -> None:
+        handle = self._timer_handles.pop(name, None)
+        if handle is not None:
+            handle.cancel()
+        self._timers.pop(name, None)
+
+    def timer_pending(self, name: str) -> bool:
+        return name in self._timers
+
+    def _timer_fired(self, name: str) -> None:
+        entry = self._timers.get(name)
+        if entry is None or self.crashed:
+            return
+        deadline, period = entry
+        if period > 0:
+            self._timers[name] = (self.kernel.now + period, period)
+            self._timer_handles[name] = self.kernel.schedule(
+                period, self._timer_fired, name, priority=PRIORITY_TIMER)
+        else:
+            self._timers.pop(name, None)
+            self._timer_handles.pop(name, None)
+        self._guard(self.app.on_timer, name)
+
+    # -------------------------------------------------------------- receive
+
+    #: cost of discarding a message at admission control (a queue drop)
+    INGRESS_DROP_COST = 0.000005
+    #: size of the duplicate-suppression digest cache (when enabled)
+    DEDUP_CACHE_SIZE = 512
+
+    def _on_network_message(self, src: NodeId, payload: bytes) -> None:
+        if self.crashed:
+            return
+        if self.ingress_dedup:
+            import hashlib
+            digest = hashlib.blake2b(payload, digest_size=12).digest()
+            if digest in self._dedup_set:
+                # An exact copy of a recently seen message: discard at the
+                # cost of a hash lookup (Aardvark-style redundancy check).
+                self.cpu.charge(self.kernel.now, self.INGRESS_DROP_COST)
+                self.duplicates_dropped += 1
+                return
+            self._dedup_set.add(digest)
+            self._dedup_fifo.append(digest)
+            if len(self._dedup_fifo) > self.DEDUP_CACHE_SIZE:
+                self._dedup_set.discard(self._dedup_fifo.pop(0))
+        if self.app is not None and not self.app.on_ingress(src, len(payload)):
+            self.cpu.charge(self.kernel.now, self.INGRESS_DROP_COST)
+            self.malformed_dropped += 1
+            return
+        extra = 0.0
+        if self.type_costs:
+            spec = self.codec.peek_type(payload)
+            if spec is not None:
+                extra = self.type_costs.get(spec.name, 0.0)
+        completion = self.cpu.enqueue(self.kernel.now, len(payload), extra)
+        self._pending_seq += 1
+        eid = self._pending_seq
+        self._pending[eid] = (completion, _node_record(src), payload)
+        self._pending_handles[eid] = self.kernel.schedule_at(
+            completion, self._dispatch, eid, priority=PRIORITY_CPU)
+
+    def _dispatch(self, eid: int) -> None:
+        entry = self._pending.pop(eid, None)
+        self._pending_handles.pop(eid, None)
+        if entry is None or self.crashed:
+            return
+        __, src_record, payload = entry
+        try:
+            message = self.codec.decode(payload)
+        except CodecError:
+            # A benign implementation discards garbage it cannot parse.
+            self.malformed_dropped += 1
+            return
+        self.log.emit(str(self.node_id), "recv", type=message.type_name)
+        self._guard(self.app.on_message, _node_from_record(src_record), message)
+
+    # --------------------------------------------------------------- metrics
+
+    def emit_metric(self, name: str, value: float = 1.0) -> None:
+        if self.metric_sink is not None:
+            self.metric_sink(self.kernel.now, self.node_id, name, value)
+
+    # -------------------------------------------------------------- snapshot
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {
+            "started": self.started,
+            "crashed": self.crashed,
+            "crash_reason": self.crash_reason,
+            "malformed_dropped": self.malformed_dropped,
+            "timers": dict(self._timers),
+            "pending": [
+                (eid, due, src_record, payload)
+                for eid, (due, src_record, payload) in sorted(self._pending.items())
+            ],
+            "pending_seq": self._pending_seq,
+            "dedup_fifo": list(self._dedup_fifo),
+            "duplicates_dropped": self.duplicates_dropped,
+            "cpu": self.cpu.save_state(),
+            "transport": self.transport.save_state(),
+            "rng": self.rng.save_state(),
+            "app": self.app.snapshot_state() if self.app is not None else None,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        for handle in self._timer_handles.values():
+            handle.cancel()
+        for handle in self._pending_handles.values():
+            handle.cancel()
+        self._timer_handles.clear()
+        self._pending_handles.clear()
+
+        self.started = state["started"]
+        self.crashed = state["crashed"]
+        self.crash_reason = state["crash_reason"]
+        self.malformed_dropped = state["malformed_dropped"]
+        self._timers = dict(state["timers"])
+        self._pending = {eid: (due, tuple(src), payload)
+                         for eid, due, src, payload in state["pending"]}
+        self._pending_seq = state["pending_seq"]
+        self._dedup_fifo = list(state["dedup_fifo"])
+        self._dedup_set = set(self._dedup_fifo)
+        self.duplicates_dropped = state["duplicates_dropped"]
+        self.cpu.load_state(state["cpu"])
+        self.transport.load_state(state["transport"])
+        self.rng.load_state(state["rng"])
+        if self.app is not None and state["app"] is not None:
+            self.app.restore_state(state["app"])
+
+        now = self.kernel.now
+        if not self.crashed:
+            for name, (deadline, __) in self._timers.items():
+                self._timer_handles[name] = self.kernel.schedule_at(
+                    max(deadline, now), self._timer_fired, name,
+                    priority=PRIORITY_TIMER)
+            for eid, (due, __, __payload) in self._pending.items():
+                self._pending_handles[eid] = self.kernel.schedule_at(
+                    max(due, now), self._dispatch, eid, priority=PRIORITY_CPU)

@@ -1,0 +1,135 @@
+"""The world: one complete emulated deployment.
+
+A :class:`World` wires together everything one experiment needs — the
+simulation kernel, the network emulator, the VM cluster, the per-node
+runtimes, the metrics collector, and the RNG registry — and exposes whole-
+world save/restore built from each component's own snapshot support.  The
+controller's distributed-snapshot procedure (pause ordering, timing charges)
+lives in :mod:`repro.controller.branching`; the world provides the raw
+state plumbing it orchestrates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.ids import NodeId
+from repro.common.logging import EventLog
+from repro.common.rng import RngRegistry
+from repro.metrics.collector import MetricsCollector
+from repro.netem.emulator import NetworkEmulator
+from repro.netem.topology import Topology
+from repro.runtime.app import Application
+from repro.runtime.cpu import CpuCostModel
+from repro.runtime.node import Node
+from repro.sim.kernel import SimKernel
+from repro.vm.manager import VmCluster
+from repro.vm.memory import OsImage
+from repro.wire.codec import ProtocolCodec
+
+
+class World:
+    """A booted emulated deployment of one distributed system."""
+
+    def __init__(self, codec: ProtocolCodec, topology: Optional[Topology] = None,
+                 seed: int = 0, device_kind: str = "BundledDevice",
+                 os_image: Optional[OsImage] = None,
+                 log_enabled: bool = False) -> None:
+        self.codec = codec
+        self.rng = RngRegistry(seed)
+        self.kernel = SimKernel()
+        self.log = EventLog(lambda: self.kernel.now, enabled=log_enabled)
+        self.emulator = NetworkEmulator(self.kernel, topology,
+                                        device_kind=device_kind, log=self.log)
+        self.metrics = MetricsCollector()
+        self.nodes: Dict[NodeId, Node] = {}
+        self._apps: Dict[NodeId, Application] = {}
+        self._os_image = os_image or OsImage()
+        self.cluster: Optional[VmCluster] = None
+        self._booted = False
+
+    # ------------------------------------------------------------- assembly
+
+    def add_node(self, node_id: NodeId, app: Application,
+                 cost_model: Optional[CpuCostModel] = None,
+                 default_transport: str = "udp") -> Node:
+        if self._booted:
+            raise ConfigError("cannot add nodes after boot")
+        if node_id in self.nodes:
+            raise ConfigError(f"node {node_id} already added")
+        self.emulator.register_host(node_id)
+        node = Node(node_id, self.kernel, self.emulator, self.codec,
+                    self.rng.stream(f"node:{node_id}"),
+                    cost_model=cost_model,
+                    default_transport=default_transport, log=self.log,
+                    metric_sink=self.metrics.record)
+        node.attach(app)
+        self.nodes[node_id] = node
+        self._apps[node_id] = app
+        return node
+
+    def set_peer_groups(self, group: List[NodeId]) -> None:
+        """Make ``group`` the broadcast set of each of its members."""
+        for node_id in group:
+            self.nodes[node_id].peers = list(group)
+
+    # ----------------------------------------------------------------- boot
+
+    def boot(self) -> float:
+        """Create and boot the VMs and start every node's application.
+
+        Returns the modelled boot duration (charged by the search cost
+        accounting: a brute-force search pays this for every execution).
+        """
+        if self._booted:
+            raise ConfigError("world already booted")
+        self._booted = True
+        names = [str(n) for n in sorted(self.nodes)]
+        self.cluster = VmCluster(names, image=self._os_image)
+        boot_time = self.cluster.boot_all()
+        for node_id in sorted(self.nodes):
+            self.cluster.vm(str(node_id)).app = self.nodes[node_id]
+        for node_id in sorted(self.nodes):
+            self.nodes[node_id].start()
+        return boot_time
+
+    @property
+    def booted(self) -> bool:
+        return self._booted
+
+    def node(self, node_id: NodeId) -> Node:
+        return self.nodes[node_id]
+
+    def app(self, node_id: NodeId) -> Application:
+        return self._apps[node_id]
+
+    def crashed_nodes(self) -> List[NodeId]:
+        return sorted(n for n, node in self.nodes.items() if node.crashed)
+
+    # ------------------------------------------------------ direct snapshot
+    #
+    # Raw state plumbing.  The controller's DistributedSnapshotter wraps
+    # these with the paper's pause/freeze ordering and cost accounting.
+
+    def save_component_states(self) -> dict:
+        return {
+            "kernel": self.kernel.save_state(),
+            "netem": self.emulator.save_state(),
+            "metrics": self.metrics.save_state(),
+            "rng": self.rng.save_state(),
+        }
+
+    def load_component_states(self, state: dict) -> None:
+        # Kernel first: clears the event queue and rewinds the clock so the
+        # other components can re-schedule against restored time.
+        self.kernel.load_state(state["kernel"])
+        self.emulator.load_state(state["netem"])
+        self.metrics.load_state(state["metrics"])
+        self.rng.load_state(state["rng"])
+
+    def run_for(self, duration: float):
+        return self.kernel.run_for(duration)
+
+    def run_until(self, deadline: float):
+        return self.kernel.run_until(deadline)

@@ -1,0 +1,69 @@
+"""Shared machinery for the attack-finding algorithms."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.attacks.actions import AttackScenario, MaliciousAction
+from repro.attacks.space import ActionSpace, ActionSpaceConfig
+from repro.controller.costs import CostLedger
+from repro.controller.harness import (AttackHarness, InjectionPoint,
+                                      TestbedFactory)
+from repro.controller.monitor import AttackThreshold, PerfSample
+from repro.search.results import SearchReport
+
+
+class SearchAlgorithm:
+    """Base class: holds the harness, the action space, and the report."""
+
+    name = "search"
+
+    def __init__(self, factory: TestbedFactory, seed: int = 0,
+                 threshold: Optional[AttackThreshold] = None,
+                 space_config: Optional[ActionSpaceConfig] = None,
+                 max_wait: Optional[float] = None) -> None:
+        self.factory = factory
+        self.seed = seed
+        self.threshold = threshold or AttackThreshold()
+        self.space_config = space_config
+        self.max_wait = max_wait
+        self.ledger = CostLedger()
+        self.harness = AttackHarness(factory, seed, self.threshold,
+                                     ledger=self.ledger)
+
+    # --------------------------------------------------------------- helpers
+
+    def _make_report(self) -> SearchReport:
+        instance = self.harness.instance
+        system = instance.name if instance is not None else "unknown"
+        return SearchReport(self.name, system, ledger=self.ledger)
+
+    def _space(self) -> ActionSpace:
+        return ActionSpace(self.harness.instance.schema, self.space_config)
+
+    def _search_types(self,
+                      message_types: Optional[Sequence[str]]) -> List[str]:
+        if message_types is not None:
+            return list(message_types)
+        return self.harness.instance.search_types()
+
+    def _injection_for(self, message_type: str) -> Optional[InjectionPoint]:
+        """Rewind to the warm state and run until the type is intercepted."""
+        self.harness.restore(self.harness.warm_snapshot)
+        self.harness.proxy.clear_policy()
+        return self.harness.run_to_injection(message_type,
+                                             max_wait=self.max_wait)
+
+    def _evaluate(self, injection: InjectionPoint,
+                  action: Optional[MaliciousAction]) -> PerfSample:
+        return self.harness.branch_measure(injection, action)
+
+    @staticmethod
+    def _exclude_key(scenario: AttackScenario) -> tuple:
+        return scenario.to_record()
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, message_types: Optional[Sequence[str]] = None,
+            exclude: Optional[Set[tuple]] = None) -> SearchReport:
+        raise NotImplementedError

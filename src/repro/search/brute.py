@@ -1,0 +1,90 @@
+"""Brute-force attack search (Fig. 2(a) of the paper).
+
+The simplest algorithm: obtain a benign baseline once, then for every attack
+scenario in the list run a *fresh* execution of the whole system with the
+scenario's action installed from the start, and measure the window after the
+first injection.  It needs no branching support, but it pays for that
+simplicity exactly as the paper describes: executions where the target
+message type never appears are entirely wasted, and every scenario re-pays
+boot and warmup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set
+
+from repro.controller.costs import EXECUTION
+from repro.controller.harness import AttackHarness
+from repro.search.base import SearchAlgorithm
+from repro.search.results import AttackFinding, SearchReport
+
+
+class BruteForceSearch(SearchAlgorithm):
+    """Fresh execution per scenario; no snapshots, no branching."""
+
+    name = "brute-force"
+
+    def run(self, message_types: Optional[Sequence[str]] = None,
+            exclude: Optional[Set[tuple]] = None,
+            max_scenarios: Optional[int] = None) -> SearchReport:
+        exclude = exclude or set()
+
+        # One benign execution for the baseline.
+        self.harness.start_run(take_warm_snapshot=False)
+        baseline = self.harness.measure_window()
+        report = self._make_report()
+
+        types = self._search_types(message_types)
+        space = self._space()
+        scenarios = [s for t in types for s in space.scenarios_for(t)
+                     if self._exclude_key(s) not in exclude]
+        if max_scenarios is not None:
+            scenarios = scenarios[:max_scenarios]
+
+        max_wait = (self.max_wait if self.max_wait is not None
+                    else AttackHarness.DEFAULT_MAX_WAIT)
+
+        for scenario in scenarios:
+            # Fresh execution: boot + warmup paid every time.
+            self.harness = AttackHarness(self.factory, self.seed,
+                                         self.threshold, ledger=self.ledger)
+            instance = self.harness.start_run(take_warm_snapshot=False)
+            instance.proxy.set_policy(scenario.message_type, scenario.action)
+            instance.proxy.reset_counters()
+
+            # Run until the action has actually been applied (the injection
+            # point), or waste the full execution if the type never occurs.
+            deadline = instance.world.kernel.now + max_wait
+            injected_at = None
+            while instance.world.kernel.now < deadline:
+                start = instance.world.kernel.now
+                step = min(0.5, deadline - start)
+                instance.world.run_for(step)
+                self.ledger.charge(EXECUTION,
+                                   instance.world.kernel.now - start)
+                if instance.proxy.first_injection_time is not None:
+                    injected_at = instance.proxy.first_injection_time
+                    break
+            report.scenarios_evaluated += 1
+            if injected_at is None:
+                if scenario.message_type not in report.types_without_injection:
+                    report.types_without_injection.append(scenario.message_type)
+                continue
+            report.injection_points += 1
+
+            # Measure the window from the injection point.
+            window_end = injected_at + instance.window
+            start = instance.world.kernel.now
+            instance.world.run_until(window_end)
+            self.ledger.charge(EXECUTION, instance.world.kernel.now - start)
+            crashed = len(instance.world.crashed_nodes())
+            sample = self.harness.monitor.sample(injected_at, window_end,
+                                                 crashed_nodes=crashed)
+
+            if self.threshold.is_attack(baseline, sample):
+                report.findings.append(AttackFinding(
+                    scenario, baseline, sample,
+                    damage=self.threshold.damage(baseline, sample),
+                    crashes=sample.crashed_nodes,
+                    found_at=self.ledger.total()))
+        return report

@@ -1,0 +1,77 @@
+"""The full hunt: repeat weighted-greedy passes until no attacks remain.
+
+Section III-B: "the user will repeat the attack finding process again after
+finding the strongest attack — until the method does not find any more
+attacks."  :func:`hunt` automates that loop: each pass excludes every
+scenario already found, and the hunt stops when a pass finds nothing new
+(or the pass budget runs out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from repro.attacks.space import ActionSpaceConfig
+from repro.controller.costs import CostLedger
+from repro.controller.harness import TestbedFactory
+from repro.controller.monitor import AttackThreshold
+from repro.search.results import AttackFinding, SearchReport
+from repro.search.weighted import ClusterWeights, WeightedGreedySearch
+
+
+@dataclass
+class HuntResult:
+    """Everything a multi-pass hunt produced."""
+
+    passes: List[SearchReport] = field(default_factory=list)
+    findings: List[AttackFinding] = field(default_factory=list)
+    total_ledger: CostLedger = field(default_factory=CostLedger)
+
+    @property
+    def total_time(self) -> float:
+        return self.total_ledger.total()
+
+    def attack_names(self) -> List[str]:
+        return [f.name for f in self.findings]
+
+    def describe(self) -> str:
+        lines = [f"hunt: {len(self.findings)} attacks over "
+                 f"{len(self.passes)} passes, "
+                 f"platform time {self.total_time:.1f}s"]
+        for i, report in enumerate(self.passes, start=1):
+            names = ", ".join(report.attack_names()) or "(nothing new)"
+            lines.append(f"  pass {i}: {names}")
+        return "\n".join(lines)
+
+
+def hunt(factory: TestbedFactory, seed: int = 0,
+         message_types: Optional[Sequence[str]] = None,
+         threshold: Optional[AttackThreshold] = None,
+         space_config: Optional[ActionSpaceConfig] = None,
+         max_passes: int = 5,
+         max_wait: Optional[float] = None,
+         exclude: Optional[Set[tuple]] = None) -> HuntResult:
+    """Run weighted-greedy passes until a pass finds nothing new.
+
+    The cluster weights persist across passes, so what pass 1 learned about
+    effective action categories speeds up pass 2.
+    """
+    result = HuntResult()
+    excluded: Set[tuple] = set(exclude or ())
+    weights = ClusterWeights()
+
+    for __ in range(max_passes):
+        search = WeightedGreedySearch(factory, seed=seed,
+                                      threshold=threshold,
+                                      space_config=space_config,
+                                      max_wait=max_wait, weights=weights)
+        report = search.run(message_types=message_types, exclude=excluded)
+        result.passes.append(report)
+        result.total_ledger.merge(report.ledger)
+        if not report.findings:
+            break
+        for finding in report.findings:
+            excluded.add(finding.scenario.to_record())
+            result.findings.append(finding)
+    return result

@@ -1,0 +1,73 @@
+"""Attack findings and search reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.attacks.actions import AttackScenario
+from repro.controller.costs import CostLedger
+from repro.controller.monitor import PerfSample
+
+
+@dataclass
+class AttackFinding:
+    """One discovered performance attack."""
+
+    scenario: AttackScenario
+    baseline: PerfSample
+    attacked: PerfSample
+    damage: float                 # relative throughput loss, 0..1
+    crashes: int                  # benign nodes crashed by the action
+    found_at: float               # ledger total when the attack was confirmed
+    confirmations: int = 1        # times the scenario was (re-)selected
+
+    @property
+    def name(self) -> str:
+        return self.scenario.describe()
+
+    @property
+    def is_crash_attack(self) -> bool:
+        return self.crashes > 0
+
+    def describe(self) -> str:
+        kind = "CRASH" if self.is_crash_attack else "PERF"
+        return (f"[{kind}] {self.name}: {self.baseline.throughput:.1f} -> "
+                f"{self.attacked.throughput:.1f} upd/s "
+                f"(damage {self.damage:.0%}, found at {self.found_at:.1f}s)")
+
+
+@dataclass
+class SearchReport:
+    """Everything a search run produced."""
+
+    algorithm: str
+    system: str
+    findings: List[AttackFinding] = field(default_factory=list)
+    #: worst-but-below-Δ selections (weighted greedy's fallback path)
+    weak_selections: List[AttackFinding] = field(default_factory=list)
+    ledger: CostLedger = field(default_factory=CostLedger)
+    scenarios_evaluated: int = 0
+    injection_points: int = 0
+    types_without_injection: List[str] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return self.ledger.total()
+
+    def finding_named(self, name: str) -> Optional[AttackFinding]:
+        for finding in self.findings:
+            if finding.name == name:
+                return finding
+        return None
+
+    def attack_names(self) -> List[str]:
+        return [f.name for f in self.findings]
+
+    def describe(self) -> str:
+        lines = [f"{self.algorithm} on {self.system}: "
+                 f"{len(self.findings)} attacks, "
+                 f"{self.scenarios_evaluated} scenarios evaluated, "
+                 f"platform time {self.total_time:.1f}s"]
+        lines.extend("  " + f.describe() for f in self.findings)
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Event primitives for the simulation kernel.
+
+Events are ordered by ``(time, priority, seq)``.  The sequence number makes
+ordering total and deterministic: two events scheduled for the same instant
+always fire in scheduling order, which is a prerequisite for reproducible
+branching (the controller compares executions branched from one snapshot, so
+tie-breaking must never depend on hash order or identity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+@dataclass
+class Event:
+    """A scheduled callback.
+
+    Cancellation is handled by flagging rather than heap removal (removal
+    from the middle of a heap is O(n)); the kernel skips cancelled events
+    when they surface.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[..., None]
+    args: Tuple[Any, ...] = ()
+    cancelled: bool = False
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+
+class EventHandle:
+    """Caller-facing handle allowing cancellation of a scheduled event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+
+# Priorities: lower runs first at equal timestamps.  Network deliveries run
+# before application timers so a message that arrives "now" is visible to a
+# timer handler also firing "now", mirroring how an OS delivers pending I/O
+# before a timer signal for the same tick.
+PRIORITY_NETWORK = 0
+PRIORITY_CPU = 1
+PRIORITY_TIMER = 2
+PRIORITY_CONTROL = 3

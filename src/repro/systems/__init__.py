@@ -1,0 +1,1 @@
+"""The target systems the paper evaluates Turret on."""

@@ -1,0 +1,9 @@
+"""Aardvark — robust BFT (target system, Section V-C)."""
+
+from repro.systems.aardvark.replica import AardvarkReplica
+from repro.systems.aardvark.schema import (AARDVARK_CODEC, AARDVARK_SCHEMA,
+                                           AARDVARK_SCHEMA_TEXT)
+from repro.systems.aardvark.testbed import aardvark_testbed
+
+__all__ = ["AardvarkReplica", "AARDVARK_CODEC", "AARDVARK_SCHEMA",
+           "AARDVARK_SCHEMA_TEXT", "aardvark_testbed"]

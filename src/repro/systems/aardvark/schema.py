@@ -1,0 +1,17 @@
+"""Aardvark wire protocol: PBFT's message formats under its own protocol id.
+
+Aardvark's wire protocol is PBFT's (it is a hardened PBFT); the schema is
+re-parsed under the ``aardvark`` protocol name so tooling distinguishes the
+two deployments.
+"""
+
+from __future__ import annotations
+
+from repro.wire import ProtocolCodec, ProtocolSchema, parse_schema
+from repro.systems.pbft.schema import PBFT_SCHEMA_TEXT
+
+AARDVARK_SCHEMA_TEXT = PBFT_SCHEMA_TEXT.replace(
+    "protocol pbft", "protocol aardvark", 1)
+
+AARDVARK_SCHEMA: ProtocolSchema = parse_schema(AARDVARK_SCHEMA_TEXT)
+AARDVARK_CODEC = ProtocolCodec(AARDVARK_SCHEMA)

@@ -1,0 +1,45 @@
+"""Aardvark testbed factory (4 replicas, f = 1, one client)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.controller.harness import TestbedFactory, TestbedInstance
+from repro.runtime.cpu import CpuCostModel
+from repro.systems.common.auth import Authenticator
+from repro.systems.common.config import BftConfig
+from repro.systems.common.testbed import build_testbed
+from repro.systems.pbft.client import PbftClient
+from repro.systems.pbft.testbed import STATUS_PROCESSING_COST
+from repro.systems.aardvark.replica import AardvarkReplica
+from repro.systems.aardvark.schema import AARDVARK_CODEC, AARDVARK_SCHEMA
+
+
+def aardvark_testbed(malicious: str = "backup",
+                     config: Optional[BftConfig] = None,
+                     warmup: float = 3.0, window: float = 6.0,
+                     message_types=None) -> TestbedFactory:
+    """``malicious`` is ``"primary"`` (replica 0) or ``"backup"`` (replica 1)."""
+    if malicious not in ("primary", "backup"):
+        raise ValueError(f"malicious must be 'primary' or 'backup', "
+                         f"got {malicious!r}")
+    cfg = config or BftConfig()
+    malicious_index = 0 if malicious == "primary" else 1
+
+    def factory(seed: int) -> TestbedInstance:
+        auth = Authenticator("aardvark-deployment")
+        cost_model = CpuCostModel(verify_signatures=cfg.verify_signatures)
+        return build_testbed(
+            name=f"aardvark-malicious-{malicious}",
+            schema=AARDVARK_SCHEMA, codec=AARDVARK_CODEC,
+            replica_factory=lambda i: AardvarkReplica(i, cfg, auth),
+            client_factory=lambda i: PbftClient(i, cfg, auth),
+            n_replicas=cfg.n, n_clients=cfg.clients,
+            malicious_indices=[malicious_index],
+            seed=seed, warmup=warmup, window=window,
+            cost_model=cost_model,
+            type_costs={"Status": STATUS_PROCESSING_COST},
+            message_types=message_types,
+            ingress_dedup=True)
+
+    return factory

@@ -1,0 +1,10 @@
+"""Byzantine Generals — classroom target (Section V-D)."""
+
+from repro.systems.byzgen.replica import ByzGeneral, ByzGeneralsConfig
+from repro.systems.byzgen.schema import (BYZGEN_CODEC, BYZGEN_SCHEMA,
+                                         BYZGEN_SCHEMA_TEXT)
+from repro.systems.byzgen.testbed import BYZGEN_ACTIVE_TYPES, byzgen_testbed
+
+__all__ = ["ByzGeneral", "ByzGeneralsConfig", "BYZGEN_CODEC",
+           "BYZGEN_SCHEMA", "BYZGEN_SCHEMA_TEXT", "BYZGEN_ACTIVE_TYPES",
+           "byzgen_testbed"]

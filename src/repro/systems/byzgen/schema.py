@@ -1,0 +1,31 @@
+"""Byzantine Generals wire protocol (classroom target, Section V-D)."""
+
+from __future__ import annotations
+
+from repro.wire import ProtocolCodec, ProtocolSchema, parse_schema
+
+BYZGEN_SCHEMA_TEXT = """
+protocol byzgen
+
+message Order = 1 {
+    round:     u32
+    value:     u8
+    commander: u16
+    sent_at:   u64
+}
+
+message Relay = 2 {
+    round:   u32
+    value:   u8
+    relayer: u16
+}
+
+message Decision = 3 {
+    round: u32
+    value: u8
+    node:  u16
+}
+"""
+
+BYZGEN_SCHEMA: ProtocolSchema = parse_schema(BYZGEN_SCHEMA_TEXT)
+BYZGEN_CODEC = ProtocolCodec(BYZGEN_SCHEMA)

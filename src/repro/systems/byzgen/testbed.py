@@ -1,0 +1,36 @@
+"""Byzantine Generals testbed (classroom target)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.controller.harness import TestbedFactory, TestbedInstance
+from repro.runtime.cpu import CpuCostModel
+from repro.systems.common.testbed import build_testbed
+from repro.systems.byzgen.replica import ByzGeneral, ByzGeneralsConfig
+from repro.systems.byzgen.schema import BYZGEN_CODEC, BYZGEN_SCHEMA
+
+BYZGEN_ACTIVE_TYPES = ["Order", "Relay"]
+
+
+def byzgen_testbed(malicious_index: int = 0,
+                   config: Optional[ByzGeneralsConfig] = None,
+                   warmup: float = 2.0, window: float = 4.0,
+                   message_types=None) -> TestbedFactory:
+    """Commander = replica 0; ``malicious_index`` 0 compromises it."""
+    cfg = config or ByzGeneralsConfig()
+    types = message_types if message_types is not None else (
+        list(BYZGEN_ACTIVE_TYPES))
+
+    def factory(seed: int) -> TestbedInstance:
+        return build_testbed(
+            name=f"byzgen-malicious-{malicious_index}",
+            schema=BYZGEN_SCHEMA, codec=BYZGEN_CODEC,
+            replica_factory=lambda i: ByzGeneral(i, cfg),
+            client_factory=lambda i: None,  # no clients: decisions are the metric
+            n_replicas=cfg.n, n_clients=0,
+            malicious_indices=[malicious_index],
+            seed=seed, warmup=warmup, window=window,
+            cost_model=CpuCostModel(), message_types=types)
+
+    return factory

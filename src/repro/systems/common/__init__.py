@@ -1,0 +1,10 @@
+"""Shared scaffolding for the BFT systems under test."""
+
+from repro.systems.common.auth import (SIGNATURE_LEN, ZERO_SIGNATURE,
+                                       Authenticator)
+from repro.systems.common.client import BaseClient
+from repro.systems.common.config import BftConfig
+from repro.systems.common.replica import BaseReplica, digest_of
+
+__all__ = ["SIGNATURE_LEN", "ZERO_SIGNATURE", "Authenticator", "BaseClient",
+           "BftConfig", "BaseReplica", "digest_of"]

@@ -1,0 +1,51 @@
+"""Simulated message authentication.
+
+The tested systems digitally sign or MAC their messages.  The paper's proxy
+modifies messages *after* they leave the VM, so with verification enabled a
+benign node "would simply discard modified messages"; the evaluation
+therefore turns signature verification off, and separately notes that
+duplication attacks get worse with it on (each copy pays the verification
+cost).
+
+:class:`Authenticator` reproduces both effects: a keyed digest over the
+authenticated fields that any field mutation invalidates, and the CPU cost
+knob lives in :class:`~repro.runtime.cpu.CpuCostModel`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Tuple
+
+SIGNATURE_LEN = 16
+ZERO_SIGNATURE = b"\x00" * SIGNATURE_LEN
+
+
+def _canonical(fields: Tuple[Any, ...]) -> bytes:
+    parts = []
+    for value in fields:
+        if isinstance(value, bytes):
+            parts.append(b"b" + value)
+        elif isinstance(value, bool):
+            parts.append(b"o1" if value else b"o0")
+        elif isinstance(value, int):
+            parts.append(b"i" + str(value).encode())
+        elif isinstance(value, float):
+            parts.append(b"f" + repr(value).encode())
+        else:
+            parts.append(b"s" + str(value).encode())
+    return b"|".join(parts)
+
+
+class Authenticator:
+    """Keyed digests standing in for signatures/MACs."""
+
+    def __init__(self, system_key: str) -> None:
+        self._key = system_key.encode()
+
+    def sign(self, *fields: Any) -> bytes:
+        return hashlib.blake2b(_canonical(fields), key=self._key,
+                               digest_size=SIGNATURE_LEN).digest()
+
+    def verify(self, signature: bytes, *fields: Any) -> bool:
+        return signature == self.sign(*fields)

@@ -1,0 +1,74 @@
+"""Testbed assembly shared by every target system.
+
+A testbed builds the full deployment Fig. 3 shows: one VM per participant
+(replicas and clients), all attached to the network emulator, with the
+malicious proxy configured from the list of compromised nodes.  Target
+systems call :func:`build_testbed` from their own ``*_testbed`` factory
+functions with protocol-specific applications and knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.actions import MaliciousAction
+from repro.attacks.proxy import MaliciousProxy
+from repro.common.ids import NodeId, client, replica
+from repro.controller.harness import TestbedInstance
+from repro.netem.topology import Topology
+from repro.runtime.app import Application
+from repro.runtime.cpu import CpuCostModel
+from repro.runtime.world import World
+from repro.wire.codec import ProtocolCodec
+from repro.wire.schema import ProtocolSchema
+
+AppFactory = Callable[[int], Application]
+
+
+def build_testbed(
+    name: str,
+    schema: ProtocolSchema,
+    codec: ProtocolCodec,
+    replica_factory: AppFactory,
+    client_factory: AppFactory,
+    n_replicas: int,
+    n_clients: int,
+    malicious_indices: Sequence[int],
+    seed: int,
+    warmup: float = 3.0,
+    window: float = 6.0,
+    cost_model: Optional[CpuCostModel] = None,
+    client_cost_model: Optional[CpuCostModel] = None,
+    type_costs: Optional[Dict[str, float]] = None,
+    message_types: Optional[List[str]] = None,
+    background_policy: Optional[List[Tuple[str, MaliciousAction]]] = None,
+    topology: Optional[Topology] = None,
+    device_kind: str = "BundledDevice",
+    ingress_dedup: bool = False,
+) -> TestbedInstance:
+    """Assemble one deployment: world + nodes + proxy."""
+    world = World(codec, topology=topology, seed=seed,
+                  device_kind=device_kind)
+
+    replica_ids = [replica(i) for i in range(n_replicas)]
+    for i, node_id in enumerate(replica_ids):
+        node = world.add_node(node_id, replica_factory(i),
+                              cost_model=cost_model)
+        node.ingress_dedup = ingress_dedup
+        if type_costs:
+            node.type_costs.update(type_costs)
+    for i in range(n_clients):
+        world.add_node(client(i), client_factory(i),
+                       cost_model=client_cost_model or cost_model)
+    world.set_peer_groups(replica_ids)
+
+    malicious = [replica(i) for i in malicious_indices]
+    proxy = MaliciousProxy(world.emulator, codec, malicious,
+                           world.rng.stream("proxy"))
+    for message_type, action in background_policy or []:
+        proxy.set_background_policy(message_type, action)
+
+    return TestbedInstance(
+        name=name, world=world, proxy=proxy, schema=schema,
+        malicious=malicious, warmup=warmup, window=window,
+        message_types=message_types)

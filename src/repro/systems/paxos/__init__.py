@@ -1,0 +1,10 @@
+"""Multi-Paxos — the classroom target system (Section V-D)."""
+
+from repro.systems.paxos.replica import PaxosClient, PaxosConfig, PaxosReplica
+from repro.systems.paxos.schema import (PAXOS_CODEC, PAXOS_SCHEMA,
+                                        PAXOS_SCHEMA_TEXT)
+from repro.systems.paxos.testbed import PAXOS_ACTIVE_TYPES, paxos_testbed
+
+__all__ = ["PaxosClient", "PaxosConfig", "PaxosReplica", "PAXOS_CODEC",
+           "PAXOS_SCHEMA", "PAXOS_SCHEMA_TEXT", "PAXOS_ACTIVE_TYPES",
+           "paxos_testbed"]

@@ -1,0 +1,71 @@
+"""Multi-Paxos wire protocol (the classroom target, Section V-D).
+
+Turret was used as the testing platform of a graduate distributed-systems
+course whose projects included Paxos; this module is the reference target a
+student submission is exercised against.
+"""
+
+from __future__ import annotations
+
+from repro.wire import ProtocolCodec, ProtocolSchema, parse_schema
+
+PAXOS_SCHEMA_TEXT = """
+protocol paxos
+
+message ClientRequest = 1 {
+    client:    u16
+    timestamp: u64
+    payload:   varbytes<u32>
+}
+
+message Prepare = 2 {
+    ballot: u32
+    slot:   i32
+    node:   u16
+}
+
+message Promise = 3 {
+    ballot:          u32
+    slot:            i32
+    node:            u16
+    accepted_ballot: u32
+    accepted:        varbytes<u32>
+}
+
+message Accept = 4 {
+    ballot:    u32
+    slot:      i32
+    node:      u16
+    timestamp: u64
+    client:    u16
+    value:     varbytes<u32>
+}
+
+message Accepted = 5 {
+    ballot: u32
+    slot:   i32
+    node:   u16
+}
+
+message Learn = 6 {
+    slot:      i32
+    timestamp: u64
+    client:    u16
+    value:     varbytes<u32>
+}
+
+message ClientReply = 7 {
+    timestamp: u64
+    client:    u16
+    node:      u16
+    result:    varbytes<u16>
+}
+
+message Heartbeat = 8 {
+    ballot: u32
+    node:   u16
+}
+"""
+
+PAXOS_SCHEMA: ProtocolSchema = parse_schema(PAXOS_SCHEMA_TEXT)
+PAXOS_CODEC = ProtocolCodec(PAXOS_SCHEMA)

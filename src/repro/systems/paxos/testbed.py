@@ -1,0 +1,37 @@
+"""Paxos testbed factory (the classroom deployment)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.controller.harness import TestbedFactory, TestbedInstance
+from repro.runtime.cpu import CpuCostModel
+from repro.systems.common.testbed import build_testbed
+from repro.systems.paxos.replica import PaxosClient, PaxosConfig, PaxosReplica
+from repro.systems.paxos.schema import PAXOS_CODEC, PAXOS_SCHEMA
+
+PAXOS_ACTIVE_TYPES = ["ClientRequest", "Accept", "Accepted", "Learn",
+                      "ClientReply", "Heartbeat"]
+
+
+def paxos_testbed(malicious_index: int = 0,
+                  config: Optional[PaxosConfig] = None,
+                  warmup: float = 3.0, window: float = 6.0,
+                  message_types=None) -> TestbedFactory:
+    """Classroom Multi-Paxos: 3 replicas by default, leader = replica 0."""
+    cfg = config or PaxosConfig()
+    types = message_types if message_types is not None else (
+        list(PAXOS_ACTIVE_TYPES))
+
+    def factory(seed: int) -> TestbedInstance:
+        return build_testbed(
+            name=f"paxos-malicious-{malicious_index}",
+            schema=PAXOS_SCHEMA, codec=PAXOS_CODEC,
+            replica_factory=lambda i: PaxosReplica(i, cfg),
+            client_factory=lambda i: PaxosClient(i, cfg),
+            n_replicas=cfg.n, n_clients=cfg.clients,
+            malicious_indices=[malicious_index],
+            seed=seed, warmup=warmup, window=window,
+            cost_model=CpuCostModel(), message_types=types)
+
+    return factory

@@ -1,0 +1,9 @@
+"""PBFT (Castro & Liskov) — the paper's case-study target system."""
+
+from repro.systems.pbft.client import PbftClient
+from repro.systems.pbft.replica import PbftReplica
+from repro.systems.pbft.schema import PBFT_CODEC, PBFT_SCHEMA, PBFT_SCHEMA_TEXT
+from repro.systems.pbft.testbed import pbft_testbed, pbft_view_change_testbed
+
+__all__ = ["PbftClient", "PbftReplica", "PBFT_CODEC", "PBFT_SCHEMA",
+           "PBFT_SCHEMA_TEXT", "pbft_testbed", "pbft_view_change_testbed"]

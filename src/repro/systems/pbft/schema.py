@@ -1,0 +1,105 @@
+"""PBFT wire protocol description.
+
+This is the "description of the external API of the service" the user gives
+Turret (Section I): message types and field types only, no semantics.  It is
+written in the message-format DSL and compiled by :mod:`repro.wire`.
+
+Field notes relevant to the paper's findings:
+
+* ``PrePrepare.big_reqs`` and ``PrePrepare.ndet_choices`` — counts of
+  variable-length structures carried by the pre-prepare (big requests and
+  non-deterministic choices in the real PBFT wire format).  The
+  implementation trusts them; negative values crash every benign replica.
+* ``Status.nmsgs`` — the size of the piggybacked message list; same trust
+  problem.
+* ``ViewChange.nprepared`` / ``ViewChange.ncheckpoints`` — sizes of the
+  prepared-certificate and checkpoint sets; lying on them faults the
+  receivers (found in the 7-server configuration).
+"""
+
+from __future__ import annotations
+
+from repro.wire import ProtocolCodec, ProtocolSchema, parse_schema
+
+PBFT_SCHEMA_TEXT = """
+protocol pbft
+
+message Request = 1 {
+    client:    u16
+    timestamp: u64
+    payload:   varbytes<u32>
+    sig:       bytes[16]
+}
+
+message PrePrepare = 2 {
+    view:         u32
+    seq:          i32
+    big_reqs:     i32
+    ndet_choices: i16
+    digest:       bytes[32]
+    timestamp:    u64
+    client:       u16
+    payload:      varbytes<u32>
+    sig:          bytes[16]
+}
+
+message Prepare = 3 {
+    view:    u32
+    seq:     i32
+    digest:  bytes[32]
+    replica: u16
+    sig:     bytes[16]
+}
+
+message Commit = 4 {
+    view:    u32
+    seq:     i32
+    digest:  bytes[32]
+    replica: u16
+    sig:     bytes[16]
+}
+
+message Reply = 5 {
+    view:      u32
+    timestamp: u64
+    client:    u16
+    replica:   u16
+    result:    varbytes<u16>
+    sig:       bytes[16]
+}
+
+message Checkpoint = 6 {
+    seq:     i32
+    digest:  bytes[32]
+    replica: u16
+    sig:     bytes[16]
+}
+
+message Status = 7 {
+    replica:    u16
+    view:       u32
+    last_exec:  i32
+    stable_seq: i32
+    nmsgs:      i32
+    sig:        bytes[16]
+}
+
+message ViewChange = 8 {
+    new_view:     u32
+    last_stable:  i32
+    nprepared:    i32
+    ncheckpoints: i32
+    replica:      u16
+    sig:          bytes[16]
+}
+
+message NewView = 9 {
+    view:    u32
+    nvc:     i32
+    primary: u16
+    sig:     bytes[16]
+}
+"""
+
+PBFT_SCHEMA: ProtocolSchema = parse_schema(PBFT_SCHEMA_TEXT)
+PBFT_CODEC = ProtocolCodec(PBFT_SCHEMA)

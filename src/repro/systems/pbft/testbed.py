@@ -1,0 +1,95 @@
+"""PBFT testbed factories.
+
+Two configurations from the paper's evaluation:
+
+* 4 replicas (f = 1), one client — the default for normal-case attacks,
+  with the malicious node either the initial primary (replica 0) or a
+  backup (replica 1).
+* 7 replicas (f = 2) with a standing Pre-Prepare drop by the malicious
+  primary so that view changes occur, used "to find attacks on View-Change
+  messages"; a second compromised node (a backup) is whose ViewChange
+  traffic the proxy manipulates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.actions import DropAction
+from repro.controller.harness import TestbedFactory, TestbedInstance
+from repro.runtime.cpu import CpuCostModel
+from repro.systems.common.auth import Authenticator
+from repro.systems.common.config import BftConfig
+from repro.systems.common.testbed import build_testbed
+from repro.systems.pbft.client import PbftClient
+from repro.systems.pbft.replica import PbftReplica
+from repro.systems.pbft.schema import PBFT_CODEC, PBFT_SCHEMA
+
+#: extra CPU a Status message costs its receiver (log scan over the window)
+STATUS_PROCESSING_COST = 0.0004
+
+
+def pbft_testbed(malicious: str = "primary", f: int = 1,
+                 verify_signatures: bool = False,
+                 config: Optional[BftConfig] = None,
+                 warmup: float = 3.0, window: float = 6.0,
+                 message_types=None) -> TestbedFactory:
+    """Factory for the 4-replica (f=1) PBFT deployment.
+
+    ``malicious`` selects which replica the proxy controls: ``"primary"``
+    (replica 0, the initial primary) or ``"backup"`` (replica 1).
+    """
+    if malicious not in ("primary", "backup"):
+        raise ValueError(f"malicious must be 'primary' or 'backup', "
+                         f"got {malicious!r}")
+    cfg = config or BftConfig(f=f, verify_signatures=verify_signatures)
+    malicious_index = 0 if malicious == "primary" else 1
+
+    def factory(seed: int) -> TestbedInstance:
+        auth = Authenticator("pbft-deployment")
+        cost_model = CpuCostModel(
+            verify_signatures=cfg.verify_signatures)
+        return build_testbed(
+            name=f"pbft-f{cfg.f}-malicious-{malicious}",
+            schema=PBFT_SCHEMA, codec=PBFT_CODEC,
+            replica_factory=lambda i: PbftReplica(i, cfg, auth),
+            client_factory=lambda i: PbftClient(i, cfg, auth),
+            n_replicas=cfg.n, n_clients=cfg.clients,
+            malicious_indices=[malicious_index],
+            seed=seed, warmup=warmup, window=window,
+            cost_model=cost_model,
+            type_costs={"Status": STATUS_PROCESSING_COST},
+            message_types=message_types)
+
+    return factory
+
+
+def pbft_view_change_testbed(config: Optional[BftConfig] = None,
+                             warmup: float = 3.0,
+                             window: float = 6.0) -> TestbedFactory:
+    """The paper's 7-server configuration for View-Change attacks.
+
+    f = 2; the malicious set is {replica 0 (initial primary), replica 1}.
+    The primary's standing Pre-Prepare drop forces a view change shortly
+    after the warmup, producing ViewChange traffic from the malicious
+    backup for the search to intercept.
+    """
+    cfg = config or BftConfig(f=2)
+
+    def factory(seed: int) -> TestbedInstance:
+        auth = Authenticator("pbft-deployment")
+        cost_model = CpuCostModel(verify_signatures=cfg.verify_signatures)
+        return build_testbed(
+            name="pbft-f2-view-change",
+            schema=PBFT_SCHEMA, codec=PBFT_CODEC,
+            replica_factory=lambda i: PbftReplica(i, cfg, auth),
+            client_factory=lambda i: PbftClient(i, cfg, auth),
+            n_replicas=cfg.n, n_clients=cfg.clients,
+            malicious_indices=[0, 1],
+            seed=seed, warmup=warmup, window=window,
+            cost_model=cost_model,
+            type_costs={"Status": STATUS_PROCESSING_COST},
+            message_types=["ViewChange"],
+            background_policy=[("PrePrepare", DropAction(1.0))])
+
+    return factory

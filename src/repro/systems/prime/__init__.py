@@ -1,0 +1,10 @@
+"""Prime — pre-ordering BFT with leader monitoring (target system)."""
+
+from repro.systems.prime.client import PrimeClient
+from repro.systems.prime.replica import PrimeReplica
+from repro.systems.prime.schema import (PRIME_CODEC, PRIME_SCHEMA,
+                                        PRIME_SCHEMA_TEXT)
+from repro.systems.prime.testbed import PRIME_ACTIVE_TYPES, prime_testbed
+
+__all__ = ["PrimeClient", "PrimeReplica", "PRIME_CODEC", "PRIME_SCHEMA",
+           "PRIME_SCHEMA_TEXT", "PRIME_ACTIVE_TYPES", "prime_testbed"]

@@ -1,0 +1,30 @@
+"""Prime client: sends to its local replica; f+1 matching replies."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.common.ids import NodeId, replica
+from repro.systems.common.client import BaseClient
+from repro.wire.codec import Message
+
+
+class PrimeClient(BaseClient):
+    """Closed-loop client; the contact replica pre-orders on its behalf."""
+
+    def make_request(self, timestamp: int) -> Message:
+        payload = f"update:{self.index}:{timestamp}".encode()
+        return Message("Request", {
+            "client": self.index, "timestamp": timestamp, "payload": payload,
+            "sig": self.auth.sign(self.index, timestamp, payload),
+        })
+
+    def initial_targets(self) -> List[NodeId]:
+        # Prime clients talk to their local replica, not the leader.
+        return [replica(self.index % self.config.n)]
+
+    def classify_reply(self, src: NodeId,
+                       message: Message) -> Optional[Tuple[int, Any]]:
+        if message.type_name != "Reply" or message["client"] != self.index:
+            return None
+        return (message["timestamp"], bytes(message["result"]))

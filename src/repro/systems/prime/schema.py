@@ -1,0 +1,101 @@
+"""Prime wire protocol description.
+
+Prime (Amir et al.) adds a pre-ordering phase and leader monitoring to BFT
+replication so that a slow leader can be detected and replaced.
+
+Message types relevant to the paper's attacks: ``POSummary`` (dropping it
+halted progress "because a quorum could not be formed even if one existed"),
+``PrePrepare`` (lying on its sequence number "caused the suspect leader
+protocol to never be initiated"; a sequence number of 0 trips the subtle
+start-at-1 validation bug), and the usual size-like fields that are trusted
+as allocation counts (``PORequest.len``, ``POSummary.nentries``,
+``PrePrepare.summary_count``).
+"""
+
+from __future__ import annotations
+
+from repro.wire import ProtocolCodec, ProtocolSchema, parse_schema
+
+PRIME_SCHEMA_TEXT = """
+protocol prime
+
+message Request = 1 {
+    client:    u16
+    timestamp: u64
+    payload:   varbytes<u32>
+    sig:       bytes[16]
+}
+
+message PORequest = 2 {
+    originator: u16
+    seq:        i32
+    len:        i32
+    timestamp:  u64
+    client:     u16
+    payload:    varbytes<u32>
+    sig:        bytes[16]
+}
+
+message POAck = 3 {
+    originator: u16
+    seq:        i32
+    replica:    u16
+    sig:        bytes[16]
+}
+
+message POSummary = 4 {
+    replica:  u16
+    nentries: i32
+    vec:      varbytes<u16>
+    sig:      bytes[16]
+}
+
+message PrePrepare = 5 {
+    view:          u32
+    seq:           i32
+    summary_count: i32
+    digest:        bytes[32]
+    matrix:        varbytes<u32>
+    sig:           bytes[16]
+}
+
+message Prepare = 6 {
+    view:    u32
+    seq:     i32
+    digest:  bytes[32]
+    replica: u16
+    sig:     bytes[16]
+}
+
+message Commit = 7 {
+    view:    u32
+    seq:     i32
+    digest:  bytes[32]
+    replica: u16
+    sig:     bytes[16]
+}
+
+message Reply = 8 {
+    timestamp: u64
+    client:    u16
+    replica:   u16
+    result:    varbytes<u16>
+    sig:       bytes[16]
+}
+
+message SuspectLeader = 9 {
+    view:    u32
+    replica: u16
+    tat:     f64
+    sig:     bytes[16]
+}
+
+message NewLeader = 10 {
+    view:    u32
+    replica: u16
+    sig:     bytes[16]
+}
+"""
+
+PRIME_SCHEMA: ProtocolSchema = parse_schema(PRIME_SCHEMA_TEXT)
+PRIME_CODEC = ProtocolCodec(PRIME_SCHEMA)

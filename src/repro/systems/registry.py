@@ -1,0 +1,144 @@
+"""Registry of the bundled target systems.
+
+Maps system names to their schema, testbed factory builder, and the
+malicious roles the factory accepts — the lookup surface used by the CLI
+and by generic tooling that iterates "every system we ship".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.controller.harness import TestbedFactory
+from repro.wire.schema import ProtocolSchema
+
+
+@dataclass(frozen=True)
+class SystemEntry:
+    """One registered target system."""
+
+    name: str
+    description: str
+    schema: ProtocolSchema
+    schema_text: str
+    roles: tuple                     # valid values for --malicious
+    default_role: str
+    #: builder(malicious_role, warmup, window) -> TestbedFactory
+    build: Callable[..., TestbedFactory]
+    #: message types a benign run exercises (search defaults)
+    active_types: Optional[List[str]] = None
+
+
+def _build_registry() -> Dict[str, SystemEntry]:
+    from repro.systems.aardvark.schema import (AARDVARK_SCHEMA,
+                                               AARDVARK_SCHEMA_TEXT)
+    from repro.systems.aardvark.testbed import aardvark_testbed
+    from repro.systems.paxos.schema import PAXOS_SCHEMA, PAXOS_SCHEMA_TEXT
+    from repro.systems.paxos.testbed import PAXOS_ACTIVE_TYPES, paxos_testbed
+    from repro.systems.pbft.schema import PBFT_SCHEMA, PBFT_SCHEMA_TEXT
+    from repro.systems.pbft.testbed import pbft_testbed
+    from repro.systems.prime.schema import PRIME_SCHEMA, PRIME_SCHEMA_TEXT
+    from repro.systems.prime.testbed import PRIME_ACTIVE_TYPES, prime_testbed
+    from repro.systems.steward.schema import (STEWARD_SCHEMA,
+                                              STEWARD_SCHEMA_TEXT)
+    from repro.systems.steward.testbed import (STEWARD_ACTIVE_TYPES,
+                                               steward_testbed)
+    from repro.systems.zyzzyva.schema import (ZYZZYVA_SCHEMA,
+                                              ZYZZYVA_SCHEMA_TEXT)
+    from repro.systems.zyzzyva.testbed import (ZYZZYVA_ACTIVE_TYPES,
+                                               zyzzyva_testbed)
+
+    from repro.systems.byzgen.schema import (BYZGEN_SCHEMA,
+                                              BYZGEN_SCHEMA_TEXT)
+    from repro.systems.byzgen.testbed import (BYZGEN_ACTIVE_TYPES,
+                                              byzgen_testbed)
+    from repro.systems.tom.schema import TOM_SCHEMA, TOM_SCHEMA_TEXT
+    from repro.systems.tom.testbed import TOM_ACTIVE_TYPES, tom_testbed
+
+    def paxos_build(role, warmup, window):
+        return paxos_testbed(malicious_index=int(role), warmup=warmup,
+                             window=window)
+
+    def byzgen_build(role, warmup, window):
+        return byzgen_testbed(malicious_index=int(role), warmup=warmup,
+                              window=window)
+
+    def tom_build(role, warmup, window):
+        return tom_testbed(malicious_index=int(role), warmup=warmup,
+                           window=window)
+
+    entries = [
+        SystemEntry(
+            "pbft", "PBFT (Castro & Liskov), 4 replicas, f=1",
+            PBFT_SCHEMA, PBFT_SCHEMA_TEXT, ("primary", "backup"), "primary",
+            lambda role, warmup, window: pbft_testbed(
+                malicious=role, warmup=warmup, window=window),
+            ["Request", "PrePrepare", "Prepare", "Commit", "Reply",
+             "Checkpoint", "Status"]),
+        SystemEntry(
+            "steward", "Steward hierarchical wide-area BFT, 2 sites x 4",
+            STEWARD_SCHEMA, STEWARD_SCHEMA_TEXT,
+            ("leader", "remote_rep", "remote_backup"), "leader",
+            lambda role, warmup, window: steward_testbed(
+                malicious=role, warmup=warmup, window=window),
+            STEWARD_ACTIVE_TYPES),
+        SystemEntry(
+            "zyzzyva", "Zyzzyva speculative BFT, 4 replicas, f=1",
+            ZYZZYVA_SCHEMA, ZYZZYVA_SCHEMA_TEXT, ("primary", "backup"),
+            "backup",
+            lambda role, warmup, window: zyzzyva_testbed(
+                malicious=role, warmup=warmup, window=window),
+            ZYZZYVA_ACTIVE_TYPES),
+        SystemEntry(
+            "prime", "Prime pre-ordering BFT with leader monitoring",
+            PRIME_SCHEMA, PRIME_SCHEMA_TEXT, ("leader", "backup"), "leader",
+            lambda role, warmup, window: prime_testbed(
+                malicious=role, warmup=warmup, window=window),
+            PRIME_ACTIVE_TYPES),
+        SystemEntry(
+            "aardvark", "Aardvark robust BFT with flooding protection",
+            AARDVARK_SCHEMA, AARDVARK_SCHEMA_TEXT, ("primary", "backup"),
+            "backup",
+            lambda role, warmup, window: aardvark_testbed(
+                malicious=role, warmup=warmup, window=window),
+            ["Request", "PrePrepare", "Prepare", "Commit", "Reply",
+             "Checkpoint", "Status"]),
+        SystemEntry(
+            "paxos", "Multi-Paxos (classroom target), 3 replicas",
+            PAXOS_SCHEMA, PAXOS_SCHEMA_TEXT, ("0", "1", "2"), "0",
+            paxos_build, PAXOS_ACTIVE_TYPES),
+        SystemEntry(
+            "byzgen", "Byzantine Generals OM(1) (classroom target)",
+            BYZGEN_SCHEMA, BYZGEN_SCHEMA_TEXT, ("0", "1", "2", "3"), "0",
+            byzgen_build, BYZGEN_ACTIVE_TYPES),
+        SystemEntry(
+            "tom", "Total Order Multicast via sequencer (classroom target)",
+            TOM_SCHEMA, TOM_SCHEMA_TEXT, ("0", "1", "2", "3"), "0",
+            tom_build, TOM_ACTIVE_TYPES),
+    ]
+    return {e.name: e for e in entries}
+
+
+_REGISTRY: Optional[Dict[str, SystemEntry]] = None
+
+
+def registry() -> Dict[str, SystemEntry]:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build_registry()
+    return _REGISTRY
+
+
+def system_names() -> List[str]:
+    return sorted(registry())
+
+
+def get_system(name: str) -> SystemEntry:
+    try:
+        return registry()[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown system {name!r}; available: {', '.join(system_names())}"
+        ) from None

@@ -1,0 +1,12 @@
+"""Steward — hierarchical wide-area BFT (target system, Section V-C)."""
+
+from repro.systems.steward.client import StewardClient
+from repro.systems.steward.replica import StewardConfig, StewardReplica
+from repro.systems.steward.schema import (STEWARD_CODEC, STEWARD_SCHEMA,
+                                          STEWARD_SCHEMA_TEXT)
+from repro.systems.steward.testbed import (STEWARD_ACTIVE_TYPES,
+                                           steward_testbed)
+
+__all__ = ["StewardClient", "StewardConfig", "StewardReplica",
+           "STEWARD_CODEC", "STEWARD_SCHEMA", "STEWARD_SCHEMA_TEXT",
+           "STEWARD_ACTIVE_TYPES", "steward_testbed"]

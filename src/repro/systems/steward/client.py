@@ -1,0 +1,32 @@
+"""Steward client: talks to the leader site."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.common.ids import NodeId, replica
+from repro.systems.common.client import BaseClient
+from repro.wire.codec import Message
+
+
+class StewardClient(BaseClient):
+    """Sends to the global leader; retries to the whole leader site."""
+
+    def make_request(self, timestamp: int) -> Message:
+        payload = f"update:{self.index}:{timestamp}".encode()
+        return Message("Request", {
+            "client": self.index, "timestamp": timestamp, "payload": payload,
+            "sig": self.auth.sign(self.index, timestamp, payload),
+        })
+
+    def initial_targets(self) -> List[NodeId]:
+        return [replica(0)]
+
+    def retry_targets(self) -> List[NodeId]:
+        return [replica(i) for i in self.config.site_members(0)]
+
+    def classify_reply(self, src: NodeId,
+                       message: Message) -> Optional[Tuple[int, Any]]:
+        if message.type_name != "Reply" or message["client"] != self.index:
+            return None
+        return (message["timestamp"], bytes(message["result"]))

@@ -1,0 +1,111 @@
+"""Steward wire protocol description.
+
+Steward (Amir et al.) is a hierarchical Byzantine-resilient replication
+system for wide-area networks: each site runs a local BFT protocol and
+threshold-signs site-level messages; a Paxos-like protocol runs between site
+representatives across the WAN.
+
+Message types relevant to the paper's attacks: ``PrePrepare`` (intra-site
+ordering at the leader site), ``Proposal`` (threshold-signed site proposal
+sent across the WAN), ``Accept`` (remote site's threshold-signed agreement),
+``GlobalViewChange`` and ``CCSUnion`` (global view maintenance and threshold
+share combination — duplicating either is expensive because every copy pays
+threshold-cryptography verification), and ``Status``.
+"""
+
+from __future__ import annotations
+
+from repro.wire import ProtocolCodec, ProtocolSchema, parse_schema
+
+STEWARD_SCHEMA_TEXT = """
+protocol steward
+
+message Request = 1 {
+    client:    u16
+    timestamp: u64
+    payload:   varbytes<u32>
+    sig:       bytes[16]
+}
+
+message PrePrepare = 2 {
+    view:      u32
+    seq:       i32
+    digest:    bytes[32]
+    timestamp: u64
+    client:    u16
+    payload:   varbytes<u32>
+    sig:       bytes[16]
+}
+
+message Prepare = 3 {
+    view:    u32
+    seq:     i32
+    digest:  bytes[32]
+    replica: u16
+    sig:     bytes[16]
+}
+
+message Proposal = 4 {
+    global_view: u32
+    seq:         i32
+    digest:      bytes[32]
+    timestamp:   u64
+    client:      u16
+    payload:     varbytes<u32>
+    site:        u16
+    sig:         bytes[16]
+}
+
+message Accept = 5 {
+    global_view: u32
+    seq:         i32
+    digest:      bytes[32]
+    site:        u16
+    sig:         bytes[16]
+}
+
+message GlobalOrder = 6 {
+    global_view: u32
+    seq:         i32
+    digest:      bytes[32]
+    timestamp:   u64
+    client:      u16
+    payload:     varbytes<u32>
+    sig:         bytes[16]
+}
+
+message Reply = 7 {
+    timestamp: u64
+    client:    u16
+    replica:   u16
+    result:    varbytes<u16>
+    sig:       bytes[16]
+}
+
+message GlobalViewChange = 8 {
+    global_view: u32
+    site:        u16
+    nproofs:     i32
+    sig:         bytes[16]
+}
+
+message CCSUnion = 9 {
+    global_view: u32
+    seq:         i32
+    share_idx:   u16
+    nshares:     i32
+    share:       bytes[32]
+    sig:         bytes[16]
+}
+
+message Status = 10 {
+    replica:   u16
+    view:      u32
+    last_exec: i32
+    nmsgs:     i32
+    sig:       bytes[16]
+}
+"""
+
+STEWARD_SCHEMA: ProtocolSchema = parse_schema(STEWARD_SCHEMA_TEXT)
+STEWARD_CODEC = ProtocolCodec(STEWARD_SCHEMA)

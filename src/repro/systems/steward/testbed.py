@@ -1,0 +1,78 @@
+"""Steward testbed: two sites over a WAN, leader site plus one remote site.
+
+The topology is hierarchical: 1 ms inside a site, ~18 ms between sites —
+which is why Steward's baseline is ~20 upd/s rather than PBFT's ~150.
+Threshold-cryptography verification costs are charged per received
+GlobalViewChange / CCSUnion message, making duplication of those messages
+the devastating attack the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.ids import replica
+from repro.common.units import millis
+from repro.controller.harness import TestbedFactory, TestbedInstance
+from repro.netem.topology import SiteTopology
+from repro.runtime.cpu import CpuCostModel
+from repro.systems.common.auth import Authenticator
+from repro.systems.common.testbed import build_testbed
+from repro.systems.steward.client import StewardClient
+from repro.systems.steward.replica import StewardConfig, StewardReplica
+from repro.systems.steward.schema import STEWARD_CODEC, STEWARD_SCHEMA
+
+#: RSA-threshold verification charged per received message of these types
+CCSUNION_VERIFY_COST = 0.004
+GVC_VERIFY_COST = 0.030
+
+#: message types exercised by a benign execution
+STEWARD_ACTIVE_TYPES = ["Request", "PrePrepare", "Prepare", "Proposal",
+                        "Accept", "GlobalOrder", "Reply", "GlobalViewChange",
+                        "CCSUnion", "Status"]
+
+MALICIOUS_ROLES = {
+    "leader": 0,        # the global leader (leader-site representative)
+    "remote_rep": 4,    # the remote site's representative
+    "remote_backup": 5,  # an ordinary remote-site member
+}
+
+
+def steward_testbed(malicious: str = "leader",
+                    config: Optional[StewardConfig] = None,
+                    inter_site_delay: float = millis(18),
+                    warmup: float = 4.0, window: float = 6.0,
+                    message_types=None) -> TestbedFactory:
+    """``malicious`` is one of ``leader``, ``remote_rep``, ``remote_backup``."""
+    if malicious not in MALICIOUS_ROLES:
+        raise ValueError(f"malicious must be one of {set(MALICIOUS_ROLES)}, "
+                         f"got {malicious!r}")
+    cfg = config or StewardConfig()
+    malicious_index = MALICIOUS_ROLES[malicious]
+    types = message_types if message_types is not None else (
+        list(STEWARD_ACTIVE_TYPES))
+
+    def factory(seed: int) -> TestbedInstance:
+        auth = Authenticator("steward-deployment")
+        site_of = {}
+        for i in range(cfg.n):
+            site_of[replica(i)] = cfg.site_of(i)
+        from repro.common.ids import client as client_id
+        for c in range(cfg.clients):
+            site_of[client_id(c)] = 0  # clients sit at the leader site
+        topology = SiteTopology(site_of, inter_delay=inter_site_delay)
+        cost_model = CpuCostModel(verify_signatures=cfg.verify_signatures)
+        return build_testbed(
+            name=f"steward-malicious-{malicious}",
+            schema=STEWARD_SCHEMA, codec=STEWARD_CODEC,
+            replica_factory=lambda i: StewardReplica(i, cfg, auth),
+            client_factory=lambda i: StewardClient(i, cfg, auth),
+            n_replicas=cfg.n, n_clients=cfg.clients,
+            malicious_indices=[malicious_index],
+            seed=seed, warmup=warmup, window=window,
+            cost_model=cost_model,
+            type_costs={"CCSUnion": CCSUNION_VERIFY_COST,
+                        "GlobalViewChange": GVC_VERIFY_COST},
+            message_types=types, topology=topology)
+
+    return factory

@@ -1,0 +1,8 @@
+"""Total Order Multicast — classroom target (Section V-D)."""
+
+from repro.systems.tom.replica import TomConfig, TomMember
+from repro.systems.tom.schema import TOM_CODEC, TOM_SCHEMA, TOM_SCHEMA_TEXT
+from repro.systems.tom.testbed import TOM_ACTIVE_TYPES, tom_testbed
+
+__all__ = ["TomConfig", "TomMember", "TOM_CODEC", "TOM_SCHEMA",
+           "TOM_SCHEMA_TEXT", "TOM_ACTIVE_TYPES", "tom_testbed"]

@@ -1,0 +1,25 @@
+"""Total Order Multicast wire protocol (classroom target, Section V-D)."""
+
+from __future__ import annotations
+
+from repro.wire import ProtocolCodec, ProtocolSchema, parse_schema
+
+TOM_SCHEMA_TEXT = """
+protocol tom
+
+message Publish = 1 {
+    sender:    u16
+    local_seq: u32
+    sent_at:   u64
+    payload:   varbytes<u16>
+}
+
+message Sequence = 2 {
+    global_seq: u32
+    sender:     u16
+    local_seq:  u32
+}
+"""
+
+TOM_SCHEMA: ProtocolSchema = parse_schema(TOM_SCHEMA_TEXT)
+TOM_CODEC = ProtocolCodec(TOM_SCHEMA)

@@ -1,0 +1,36 @@
+"""Total Order Multicast testbed (classroom target)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.controller.harness import TestbedFactory, TestbedInstance
+from repro.runtime.cpu import CpuCostModel
+from repro.systems.common.testbed import build_testbed
+from repro.systems.tom.replica import TomConfig, TomMember
+from repro.systems.tom.schema import TOM_CODEC, TOM_SCHEMA
+
+TOM_ACTIVE_TYPES = ["Publish", "Sequence"]
+
+
+def tom_testbed(malicious_index: int = 0,
+                config: Optional[TomConfig] = None,
+                warmup: float = 2.0, window: float = 4.0,
+                message_types=None) -> TestbedFactory:
+    """Sequencer = member 0; ``malicious_index`` 0 compromises it."""
+    cfg = config or TomConfig()
+    types = message_types if message_types is not None else (
+        list(TOM_ACTIVE_TYPES))
+
+    def factory(seed: int) -> TestbedInstance:
+        return build_testbed(
+            name=f"tom-malicious-{malicious_index}",
+            schema=TOM_SCHEMA, codec=TOM_CODEC,
+            replica_factory=lambda i: TomMember(i, cfg),
+            client_factory=lambda i: None,  # deliveries are the metric
+            n_replicas=cfg.n, n_clients=0,
+            malicious_indices=[malicious_index],
+            seed=seed, warmup=warmup, window=window,
+            cost_model=CpuCostModel(), message_types=types)
+
+    return factory

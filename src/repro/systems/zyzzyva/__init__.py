@@ -1,0 +1,12 @@
+"""Zyzzyva — speculative BFT (target system, Section V-C)."""
+
+from repro.systems.zyzzyva.client import ZyzzyvaClient
+from repro.systems.zyzzyva.replica import ZyzzyvaReplica
+from repro.systems.zyzzyva.schema import (ZYZZYVA_CODEC, ZYZZYVA_SCHEMA,
+                                          ZYZZYVA_SCHEMA_TEXT)
+from repro.systems.zyzzyva.testbed import (ZYZZYVA_ACTIVE_TYPES,
+                                           zyzzyva_testbed)
+
+__all__ = ["ZyzzyvaClient", "ZyzzyvaReplica", "ZYZZYVA_CODEC",
+           "ZYZZYVA_SCHEMA", "ZYZZYVA_SCHEMA_TEXT", "ZYZZYVA_ACTIVE_TYPES",
+           "zyzzyva_testbed"]

@@ -1,0 +1,89 @@
+"""Zyzzyva wire protocol description.
+
+Field notes relevant to the paper's findings (Section V-C):
+
+* ``OrderRequest.msg_size`` — the embedded request size; the implementation
+  trusts it ("lying about the size of the message, making it a large
+  negative value" degrades latency / faults replicas).
+* ``NewView.size`` — "lying on the size field of Newview messages causes
+  benign nodes to crash".
+* ``Commit.cc_size`` — the commit-certificate size the client claims.
+"""
+
+from __future__ import annotations
+
+from repro.wire import ProtocolCodec, ProtocolSchema, parse_schema
+
+ZYZZYVA_SCHEMA_TEXT = """
+protocol zyzzyva
+
+message Request = 1 {
+    client:    u16
+    timestamp: u64
+    payload:   varbytes<u32>
+    sig:       bytes[16]
+}
+
+message OrderRequest = 2 {
+    view:      u32
+    seq:       i32
+    hist:      bytes[32]
+    digest:    bytes[32]
+    msg_size:  i32
+    timestamp: u64
+    client:    u16
+    payload:   varbytes<u32>
+    sig:       bytes[16]
+}
+
+message SpecResponse = 3 {
+    view:      u32
+    seq:       i32
+    hist:      bytes[32]
+    digest:    bytes[32]
+    client:    u16
+    timestamp: u64
+    replica:   u16
+    result:    varbytes<u16>
+    sig:       bytes[16]
+}
+
+message Commit = 4 {
+    client:  u16
+    cc_size: i32
+    view:    u32
+    seq:     i32
+    sig:     bytes[16]
+}
+
+message LocalCommit = 5 {
+    view:    u32
+    seq:     i32
+    replica: u16
+    client:  u16
+    sig:     bytes[16]
+}
+
+message IHateThePrimary = 6 {
+    view:    u32
+    replica: u16
+    sig:     bytes[16]
+}
+
+message ViewChange = 7 {
+    new_view: u32
+    nccs:     i32
+    replica:  u16
+    sig:      bytes[16]
+}
+
+message NewView = 8 {
+    view:    u32
+    size:    i32
+    primary: u16
+    sig:     bytes[16]
+}
+"""
+
+ZYZZYVA_SCHEMA: ProtocolSchema = parse_schema(ZYZZYVA_SCHEMA_TEXT)
+ZYZZYVA_CODEC = ProtocolCodec(ZYZZYVA_SCHEMA)

@@ -1,0 +1,53 @@
+"""Zyzzyva testbed factory (4 replicas, f = 1, one client)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.controller.harness import TestbedFactory, TestbedInstance
+from repro.runtime.cpu import CpuCostModel
+from repro.systems.common.auth import Authenticator
+from repro.systems.common.config import BftConfig
+from repro.systems.common.testbed import build_testbed
+from repro.systems.zyzzyva.client import ZyzzyvaClient
+from repro.systems.zyzzyva.replica import ZyzzyvaReplica
+from repro.systems.zyzzyva.schema import ZYZZYVA_CODEC, ZYZZYVA_SCHEMA
+
+#: message types the benign execution exercises (the search skips view
+#: change types that never appear without a standing fault)
+ZYZZYVA_ACTIVE_TYPES = ["Request", "OrderRequest", "SpecResponse", "Commit",
+                        "LocalCommit"]
+
+
+def zyzzyva_testbed(malicious: str = "backup",
+                    config: Optional[BftConfig] = None,
+                    warmup: float = 3.0, window: float = 6.0,
+                    message_types=None) -> TestbedFactory:
+    """``malicious`` is ``"primary"`` (replica 0) or ``"backup"`` (replica 1)."""
+    if malicious not in ("primary", "backup"):
+        raise ValueError(f"malicious must be 'primary' or 'backup', "
+                         f"got {malicious!r}")
+    cfg = config or BftConfig()
+    malicious_index = 0 if malicious == "primary" else 1
+    types = message_types if message_types is not None else (
+        list(ZYZZYVA_ACTIVE_TYPES))
+
+    def factory(seed: int) -> TestbedInstance:
+        auth = Authenticator("zyzzyva-deployment")
+        cost_model = CpuCostModel(verify_signatures=cfg.verify_signatures)
+        # Zyzzyva clients are thin: they compare response digests, no
+        # protocol state machine, so their per-message cost is small.
+        client_costs = CpuCostModel(base_cost=0.0001,
+                                    verify_signatures=cfg.verify_signatures)
+        return build_testbed(
+            name=f"zyzzyva-malicious-{malicious}",
+            schema=ZYZZYVA_SCHEMA, codec=ZYZZYVA_CODEC,
+            replica_factory=lambda i: ZyzzyvaReplica(i, cfg, auth),
+            client_factory=lambda i: ZyzzyvaClient(i, cfg, auth),
+            n_replicas=cfg.n, n_clients=cfg.clients,
+            malicious_indices=[malicious_index],
+            seed=seed, warmup=warmup, window=window,
+            cost_model=cost_model, client_cost_model=client_costs,
+            message_types=types)
+
+    return factory

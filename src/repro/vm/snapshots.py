@@ -1,0 +1,258 @@
+"""Page-sharing-aware snapshot management (Section IV-C of the paper).
+
+Two snapshot modes:
+
+* **plain** — each VM snapshot stores the full content of every resident
+  page, exactly what unmodified KVM writes.
+* **shared** — the manager additionally writes one *shared page map* holding
+  each KSM-merged page once; the per-VM snapshot stores only a pfn plus a
+  digest reference for shared pages and full content for private pages.
+
+Restores verify that reconstructed memory is page-for-page identical to what
+was saved, and the byte accounting feeds :class:`~repro.vm.timing.
+VmTimingModel` so that sharing translates into save-time savings the way the
+paper measures in Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SnapshotError
+from repro.common.units import PAGE_SIZE
+from repro.vm.ksm import KsmDaemon
+from repro.vm.memory import GuestMemory, Page
+from repro.vm.timing import VmTimingModel
+
+# On-disk record overheads (bytes): pfn (8) + flag (1); a shared reference
+# additionally stores the 16-byte digest instead of 4096 bytes of content.
+_RECORD_HEADER = 9
+_DIGEST_REF = 16
+
+
+@dataclass(frozen=True)
+class PageRecord:
+    """One page entry inside a VM snapshot file."""
+
+    pfn: int
+    shared: bool
+    digest: bytes
+    content: Optional[bytes] = None  # None for shared refs / synthetic pages
+
+    def stored_bytes(self) -> int:
+        if self.shared:
+            return _RECORD_HEADER + _DIGEST_REF
+        return _RECORD_HEADER + PAGE_SIZE
+
+
+@dataclass
+class VmSnapshot:
+    """Snapshot file of a single VM."""
+
+    vm_name: str
+    records: List[PageRecord]
+    app_page_count: int
+
+    def stored_bytes(self) -> int:
+        return sum(r.stored_bytes() for r in self.records)
+
+    def shared_refs(self) -> int:
+        return sum(1 for r in self.records if r.shared)
+
+
+@dataclass
+class SharedPageMap:
+    """The shared page map file: each merged page stored exactly once."""
+
+    pages: Dict[bytes, Page] = field(default_factory=dict)
+
+    def stored_bytes(self) -> int:
+        return len(self.pages) * (PAGE_SIZE + _DIGEST_REF)
+
+    def lookup(self, digest: bytes) -> Page:
+        try:
+            return self.pages[digest]
+        except KeyError:
+            raise SnapshotError(
+                f"shared page map missing digest {digest.hex()}") from None
+
+
+@dataclass
+class ClusterSnapshot:
+    """Snapshots of all VMs plus the optional shared page map."""
+
+    mode: str                      # "plain" | "shared"
+    vm_snapshots: List[VmSnapshot]
+    shared_map: Optional[SharedPageMap]
+    save_time: float
+    load_time: float
+
+    def stored_bytes(self) -> int:
+        total = sum(s.stored_bytes() for s in self.vm_snapshots)
+        if self.shared_map is not None:
+            total += self.shared_map.stored_bytes()
+        return total
+
+    @property
+    def vm_count(self) -> int:
+        return len(self.vm_snapshots)
+
+
+@dataclass
+class DeltaVmSnapshot:
+    """Pages of one VM that differ from a base snapshot."""
+
+    vm_name: str
+    changed: List[PageRecord]
+    removed: List[int]
+    app_page_count: int
+
+    def stored_bytes(self) -> int:
+        return (sum(r.stored_bytes() for r in self.changed)
+                + 8 * len(self.removed))
+
+
+@dataclass
+class DeltaClusterSnapshot:
+    """A base snapshot plus per-VM deltas; restores base-then-overlay."""
+
+    base: ClusterSnapshot
+    vm_deltas: List[DeltaVmSnapshot]
+    save_time: float
+    load_time: float
+
+    def stored_bytes(self) -> int:
+        return sum(d.stored_bytes() for d in self.vm_deltas)
+
+    @property
+    def vm_count(self) -> int:
+        return len(self.vm_deltas)
+
+
+class SnapshotManager:
+    """Implements save/load for a set of guests, with optional page sharing."""
+
+    def __init__(self, ksm: Optional[KsmDaemon] = None,
+                 timing: Optional[VmTimingModel] = None) -> None:
+        self.ksm = ksm
+        self.timing = timing or VmTimingModel()
+
+    # ------------------------------------------------------------------ save
+
+    def save(self, memories: Sequence[GuestMemory], shared: bool = False,
+             max_bandwidth: bool = True) -> ClusterSnapshot:
+        if shared and self.ksm is None:
+            raise SnapshotError("shared snapshots require a KSM daemon")
+        shared_map = SharedPageMap() if shared else None
+        vm_snapshots: List[VmSnapshot] = []
+        for memory in memories:
+            records: List[PageRecord] = []
+            for pfn, page in memory.iter_pages():
+                if shared and self.ksm.is_shared(memory.vm_name, pfn, page):
+                    shared_map.pages.setdefault(page.digest, page)
+                    records.append(PageRecord(pfn, True, page.digest))
+                else:
+                    records.append(
+                        PageRecord(pfn, False, page.digest, page.content))
+            vm_snapshots.append(
+                VmSnapshot(memory.vm_name, records, memory.app_page_count()))
+
+        payload = sum(s.stored_bytes() for s in vm_snapshots)
+        if shared_map is not None:
+            payload += shared_map.stored_bytes()
+        save_time = self.timing.save_time(
+            payload, len(vm_snapshots), max_bandwidth=max_bandwidth)
+        load_time = self.timing.load_time(len(vm_snapshots))
+        return ClusterSnapshot(
+            "shared" if shared else "plain", vm_snapshots, shared_map,
+            save_time, load_time)
+
+    # ------------------------------------------------------------------ load
+
+    def load(self, snapshot: ClusterSnapshot,
+             memories: Sequence[GuestMemory]) -> None:
+        by_name = {m.vm_name: m for m in memories}
+        for vm_snap in snapshot.vm_snapshots:
+            memory = by_name.get(vm_snap.vm_name)
+            if memory is None:
+                raise SnapshotError(
+                    f"no guest named {vm_snap.vm_name} to restore into")
+            pages: Dict[int, Page] = {}
+            for record in vm_snap.records:
+                if record.shared:
+                    if snapshot.shared_map is None:
+                        raise SnapshotError(
+                            f"{vm_snap.vm_name}: shared ref without a map")
+                    pages[record.pfn] = snapshot.shared_map.lookup(record.digest)
+                else:
+                    pages[record.pfn] = Page(record.digest, record.content)
+            memory.load_pages(pages, vm_snap.app_page_count)
+
+    # ----------------------------------------------------- delta snapshots
+    #
+    # Execution branching takes a snapshot at every injection point of a
+    # search, but most guest pages (the whole OS image, most of the heap)
+    # are identical to the warm snapshot taken after boot.  A delta
+    # snapshot stores only pages that changed relative to a base snapshot,
+    # cutting save cost for every injection point after the first.
+
+    def save_delta(self, memories: Sequence[GuestMemory],
+                   base: ClusterSnapshot,
+                   max_bandwidth: bool = True) -> "DeltaClusterSnapshot":
+        base_index: Dict[str, Dict[int, bytes]] = {}
+        base_counts: Dict[str, int] = {}
+        for vm_snap in base.vm_snapshots:
+            base_index[vm_snap.vm_name] = {
+                r.pfn: r.digest for r in vm_snap.records}
+            base_counts[vm_snap.vm_name] = vm_snap.app_page_count
+
+        deltas: List[DeltaVmSnapshot] = []
+        for memory in memories:
+            known = base_index.get(memory.vm_name)
+            if known is None:
+                raise SnapshotError(
+                    f"base snapshot has no VM named {memory.vm_name}")
+            changed: List[PageRecord] = []
+            present = set()
+            for pfn, page in memory.iter_pages():
+                present.add(pfn)
+                if known.get(pfn) != page.digest:
+                    changed.append(
+                        PageRecord(pfn, False, page.digest, page.content))
+            removed = sorted(set(known) - present)
+            deltas.append(DeltaVmSnapshot(memory.vm_name, changed, removed,
+                                          memory.app_page_count()))
+
+        payload = sum(d.stored_bytes() for d in deltas)
+        save_time = self.timing.save_time(
+            payload, len(deltas), max_bandwidth=max_bandwidth)
+        # loading must materialize the base first, then apply the delta
+        load_time = base.load_time + self.timing.load_time(len(deltas))
+        return DeltaClusterSnapshot(base, deltas, save_time, load_time)
+
+    def load_delta(self, snapshot: "DeltaClusterSnapshot",
+                   memories: Sequence[GuestMemory]) -> None:
+        self.load(snapshot.base, memories)
+        by_name = {m.vm_name: m for m in memories}
+        for delta in snapshot.vm_deltas:
+            memory = by_name.get(delta.vm_name)
+            if memory is None:
+                raise SnapshotError(
+                    f"no guest named {delta.vm_name} to restore into")
+            pages, __ = memory.export_pages()
+            for pfn in delta.removed:
+                pages.pop(pfn, None)
+            for record in delta.changed:
+                pages[record.pfn] = Page(record.digest, record.content)
+            memory.load_pages(pages, delta.app_page_count)
+
+    # -------------------------------------------------------------- analysis
+
+    @staticmethod
+    def compare(plain: ClusterSnapshot, shared: ClusterSnapshot
+                ) -> Tuple[float, float]:
+        """(size reduction, save-time reduction) of shared vs plain, in %."""
+        size_red = 100.0 * (1 - shared.stored_bytes() / plain.stored_bytes())
+        time_red = 100.0 * (1 - shared.save_time / plain.save_time)
+        return size_red, time_red

@@ -1,0 +1,52 @@
+"""Cost model for VM snapshot operations.
+
+Calibrated against Section V-A / Table II of the paper:
+
+* saving 5 unmodified VM snapshots (~532 MB) took 5.76 s at maximum
+  migration bandwidth and 15.24 s at KVM's default bandwidth limit;
+* loading 5 VM snapshots took 0.038 s (KVM maps snapshot pages lazily);
+* page-sharing-aware snapshots reduced save time by 34.5%–40.3% for
+  5–15 VMs.
+
+From those: an aggregate save bandwidth of ~100 MiB/s (max) vs ~35 MiB/s
+(default), a small per-VM setup overhead, and ~7.6 ms per VM to load.
+The model charges time for the *bytes actually written*, which is what makes
+page sharing pay off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import MIB
+
+
+@dataclass(frozen=True)
+class VmTimingModel:
+    """Durations (virtual seconds) for VM lifecycle operations."""
+
+    save_bandwidth_max: float = 100.0 * MIB     # bytes/s, max migration bw
+    save_bandwidth_default: float = 35.0 * MIB  # bytes/s, KVM default cap
+    save_overhead_per_vm: float = 0.05          # device state, metadata
+    load_time_per_vm: float = 0.0076            # lazy page mapping
+    pause_time_per_vm: float = 0.004
+    resume_time_per_vm: float = 0.004
+    boot_time_per_vm: float = 8.0               # guest boot to app start
+
+    def save_time(self, bytes_written: int, vm_count: int,
+                  max_bandwidth: bool = True) -> float:
+        bw = self.save_bandwidth_max if max_bandwidth else self.save_bandwidth_default
+        return bytes_written / bw + self.save_overhead_per_vm * vm_count
+
+    def load_time(self, vm_count: int) -> float:
+        return self.load_time_per_vm * vm_count
+
+    def pause_time(self, vm_count: int) -> float:
+        return self.pause_time_per_vm * vm_count
+
+    def resume_time(self, vm_count: int) -> float:
+        return self.resume_time_per_vm * vm_count
+
+    def boot_time(self, vm_count: int) -> float:
+        # VMs boot in parallel on the host; total dominated by the slowest.
+        return self.boot_time_per_vm

@@ -1,0 +1,160 @@
+"""Binary codec for schema-described messages.
+
+Wire layout of an encoded message::
+
+    u16 type_id | field 0 | field 1 | ...   (all little-endian)
+
+Scalars use their struct encoding; ``bytes[N]`` is raw; ``varbytes<T>`` is a
+T-encoded length followed by that many raw bytes.  The codec is the runtime
+half of the message-format compiler: the malicious proxy uses it to identify
+message types on the wire, read field values, and re-encode mutated messages.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.common.errors import CodecError
+from repro.wire.schema import (KIND_BYTES, KIND_SCALAR, KIND_VARBYTES,
+                               MessageSpec, ProtocolSchema)
+from repro.wire.types import U16
+
+_TYPE_TAG = U16
+
+
+@dataclass
+class Message:
+    """A decoded (or to-be-encoded) application message."""
+
+    type_name: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.fields[name]
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        self.fields[name] = value
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.fields.get(name, default)
+
+    def copy(self) -> "Message":
+        return Message(self.type_name, dict(self.fields))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"{self.type_name}({inner})"
+
+
+class ProtocolCodec:
+    """Encodes and decodes every message type of one protocol schema."""
+
+    def __init__(self, schema: ProtocolSchema) -> None:
+        self.schema = schema
+
+    # ---------------------------------------------------------------- encode
+
+    def encode(self, message: Message) -> bytes:
+        spec = self.schema.message_named(message.type_name)
+        parts = [_TYPE_TAG.pack(spec.type_id)]
+        for f in spec.fields:
+            if f.name not in message.fields:
+                raise CodecError(
+                    f"{spec.name}: missing field {f.name!r}")
+            value = message.fields[f.name]
+            parts.append(self._encode_field(spec, f, value))
+        return b"".join(parts)
+
+    def _encode_field(self, spec: MessageSpec, f, value: Any) -> bytes:
+        try:
+            if f.kind == KIND_SCALAR:
+                return f.scalar.pack(value)
+            if f.kind == KIND_BYTES:
+                if not isinstance(value, (bytes, bytearray)):
+                    raise CodecError(
+                        f"{spec.name}.{f.name}: expected bytes, got {type(value).__name__}")
+                if len(value) != f.fixed_len:
+                    raise CodecError(
+                        f"{spec.name}.{f.name}: expected {f.fixed_len} bytes, "
+                        f"got {len(value)}")
+                return bytes(value)
+            # varbytes
+            if not isinstance(value, (bytes, bytearray)):
+                raise CodecError(
+                    f"{spec.name}.{f.name}: expected bytes, got {type(value).__name__}")
+            if len(value) > f.len_type.max_value:
+                raise CodecError(
+                    f"{spec.name}.{f.name}: {len(value)} bytes exceeds "
+                    f"{f.len_type.name} length prefix")
+            return f.len_type.pack(len(value)) + bytes(value)
+        except struct.error as exc:  # defensive; pack() already wraps
+            raise CodecError(f"{spec.name}.{f.name}: {exc}") from exc
+
+    # ---------------------------------------------------------------- decode
+
+    def peek_type(self, data: bytes) -> Optional[MessageSpec]:
+        """Identify the message type of an encoded buffer, if known."""
+        if len(data) < _TYPE_TAG.size:
+            return None
+        type_id = _TYPE_TAG.unpack(data, 0)
+        if not self.schema.has_message_id(type_id):
+            return None
+        return self.schema.message_by_id(type_id)
+
+    def decode(self, data: bytes) -> Message:
+        spec = self.peek_type(data)
+        if spec is None:
+            raise CodecError("unknown or truncated message type tag")
+        offset = _TYPE_TAG.size
+        values: Dict[str, Any] = {}
+        for f in spec.fields:
+            value, offset = self._decode_field(spec, f, data, offset)
+            values[f.name] = value
+        if offset != len(data):
+            raise CodecError(
+                f"{spec.name}: {len(data) - offset} trailing bytes")
+        return Message(spec.name, values)
+
+    def _decode_field(self, spec: MessageSpec, f, data: bytes, offset: int):
+        if f.kind == KIND_SCALAR:
+            if offset + f.scalar.size > len(data):
+                raise CodecError(f"{spec.name}.{f.name}: truncated")
+            return f.scalar.unpack(data, offset), offset + f.scalar.size
+        if f.kind == KIND_BYTES:
+            end = offset + f.fixed_len
+            if end > len(data):
+                raise CodecError(f"{spec.name}.{f.name}: truncated")
+            return data[offset:end], end
+        # varbytes
+        if offset + f.len_type.size > len(data):
+            raise CodecError(f"{spec.name}.{f.name}: truncated length")
+        length = f.len_type.unpack(data, offset)
+        offset += f.len_type.size
+        end = offset + length
+        if end > len(data):
+            raise CodecError(f"{spec.name}.{f.name}: truncated body")
+        return data[offset:end], end
+
+    # -------------------------------------------------------------- mutation
+
+    def mutate(self, data: bytes, field_name: str, new_value: Any) -> bytes:
+        """Return ``data`` re-encoded with one scalar field replaced.
+
+        This is the proxy's lying primitive: decode, substitute, re-encode.
+        The new value is wrapped into the field's representable range the way
+        a C assignment would (modular for integers), because the attacker
+        writes raw bytes, not checked values.
+        """
+        message = self.decode(data)
+        spec = self.schema.message_named(message.type_name)
+        f = spec.field_named(field_name)
+        if f.kind != KIND_SCALAR:
+            raise CodecError(
+                f"{spec.name}.{field_name}: only scalar fields can be mutated")
+        message.fields[field_name] = f.scalar.wrap(new_value)
+        return self.encode(message)
+
+    def encoded_size(self, message: Message) -> int:
+        return len(self.encode(message))

@@ -1,0 +1,178 @@
+"""Parser for the message-format description language.
+
+The paper: "We developed a small compiler that reads a message format
+description and generates C++ code compatible with a large set of binary wire
+protocols."  This module is the front end of that compiler.  The grammar:
+
+.. code-block:: text
+
+    # comments run to end of line
+    protocol pbft
+
+    message PrePrepare = 1 {
+        view:    u32
+        seq:     i32
+        ndet:    u16            # number of non-deterministic choices
+        digest:  bytes[32]
+        payload: varbytes<u32>
+    }
+
+    message Commit = 5 { view: u32  seq: i32  replica: u16 }
+
+Scalar types: bool, i8/u8/i16/u16/i32/u32/i64/u64, f32, f64.
+``bytes[N]`` is a fixed-length byte string; ``varbytes<T>`` is a byte string
+preceded by its length encoded as scalar type T.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.common.errors import SchemaParseError
+from repro.wire.schema import MessageSpec, ProtocolSchema, make_field
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ident>[A-Za-z_][A-Za-z0-9_]*(\[[0-9]+\]|<[A-Za-z0-9_]+>)?)
+  | (?P<number>-?[0-9]+)
+  | (?P<punct>[{}=:])
+    """,
+    re.VERBOSE,
+)
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class Token(NamedTuple):
+    kind: str   # "ident" | "number" | "punct"
+    text: str
+    line: int
+
+
+def _tokenize(text: str) -> Iterator[Token]:
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        code = line.split("#", 1)[0]
+        pos = 0
+        while pos < len(code):
+            if code[pos].isspace():
+                pos += 1
+                continue
+            m = _TOKEN_RE.match(code, pos)
+            if not m:
+                raise SchemaParseError(
+                    f"unexpected character {code[pos]!r}", lineno)
+            kind = m.lastgroup or "punct"
+            # lastgroup may point at an inner group; normalize
+            if m.group("ident") is not None:
+                kind, text_ = "ident", m.group("ident")
+            elif m.group("number") is not None:
+                kind, text_ = "number", m.group("number")
+            else:
+                kind, text_ = "punct", m.group("punct")
+            yield Token(kind, text_, lineno)
+            pos = m.end()
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Optional[Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            last_line = self._tokens[-1].line if self._tokens else 0
+            raise SchemaParseError("unexpected end of input", last_line)
+        self._pos += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise SchemaParseError(
+                f"expected {want!r}, found {tok.text!r}", tok.line)
+        return tok
+
+    def at_end(self) -> bool:
+        return self.peek() is None
+
+
+def parse_schema(text: str) -> ProtocolSchema:
+    """Parse DSL ``text`` into a :class:`ProtocolSchema`."""
+    stream = _TokenStream(list(_tokenize(text)))
+    name = "protocol"
+    messages: List[MessageSpec] = []
+
+    first = stream.peek()
+    if first is not None and first.kind == "ident" and first.text == "protocol":
+        stream.next()
+        name_tok = stream.expect("ident")
+        name = name_tok.text
+
+    while not stream.at_end():
+        messages.append(_parse_message(stream))
+
+    if not messages:
+        raise SchemaParseError("schema defines no messages")
+    return ProtocolSchema(name, tuple(messages))
+
+
+def _parse_message(stream: _TokenStream) -> MessageSpec:
+    kw = stream.expect("ident")
+    if kw.text != "message":
+        raise SchemaParseError(
+            f"expected 'message', found {kw.text!r}", kw.line)
+    name_tok = stream.expect("ident")
+    if not _IDENT_RE.match(name_tok.text):
+        raise SchemaParseError(
+            f"bad message name {name_tok.text!r}", name_tok.line)
+    stream.expect("punct", "=")
+    id_tok = stream.expect("number")
+    type_id = int(id_tok.text)
+    if type_id < 0:
+        raise SchemaParseError(
+            f"message id must be non-negative, got {type_id}", id_tok.line)
+    stream.expect("punct", "{")
+
+    fields = []
+    field_names = set()
+    while True:
+        tok = stream.next()
+        if tok.kind == "punct" and tok.text == "}":
+            break
+        if tok.kind != "ident" or not _IDENT_RE.match(tok.text):
+            raise SchemaParseError(
+                f"expected field name, found {tok.text!r}", tok.line)
+        if tok.text in field_names:
+            raise SchemaParseError(
+                f"duplicate field {tok.text!r} in message {name_tok.text}",
+                tok.line)
+        field_names.add(tok.text)
+        stream.expect("punct", ":")
+        type_tok = stream.expect("ident")
+        try:
+            fields.append(make_field(tok.text, type_tok.text))
+        except Exception as exc:
+            raise SchemaParseError(str(exc), type_tok.line) from exc
+
+    return MessageSpec(name_tok.text, type_id, tuple(fields))
+
+
+def format_schema(schema: ProtocolSchema) -> str:
+    """Render a schema back into DSL text (round-trips through the parser)."""
+    lines = [f"protocol {schema.name}", ""]
+    for m in schema.messages:
+        lines.append(f"message {m.name} = {m.type_id} {{")
+        width = max((len(f.name) for f in m.fields), default=0)
+        for f in m.fields:
+            lines.append(f"    {f.name + ':':<{width + 1}} {f.type_label()}")
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)

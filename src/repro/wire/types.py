@@ -1,0 +1,134 @@
+"""Primitive field types supported by the message-format compiler.
+
+Section II-B of the paper fixes the vocabulary: boolean, signed/unsigned
+integers of 8/16/32/64 bits, float and double.  Each type knows its struct
+format, value bounds, and its *spanning set* — the values an absolute-value
+lying strategy draws from ("values from a set which spans the range of the
+data type").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.common.errors import WireFormatError
+
+Number = Union[int, float, bool]
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """A fixed-width primitive wire type."""
+
+    name: str
+    fmt: str               # struct format character (little-endian applied by codec)
+    size: int              # bytes on the wire
+    is_integer: bool
+    signed: bool
+    min_value: Number
+    max_value: Number
+
+    @property
+    def is_float(self) -> bool:
+        return not self.is_integer and self.name != "bool"
+
+    @property
+    def is_bool(self) -> bool:
+        return self.name == "bool"
+
+    def clamp(self, value: Number) -> Number:
+        """Clamp ``value`` into this type's representable range."""
+        if self.is_bool:
+            return bool(value)
+        if self.is_integer:
+            return max(self.min_value, min(self.max_value, int(value)))
+        return float(value)
+
+    def wrap(self, value: Number) -> Number:
+        """Wrap a value into range the way a C store would.
+
+        Integers wrap modularly (two's-complement overflow); floats saturate
+        at the type's representable extremes (an f32 store of an
+        out-of-range double yields +/-inf in C, which we conservatively model
+        as the extreme finite value so the bytes always pack).
+        """
+        if self.is_bool:
+            return bool(value)
+        if not self.is_integer:
+            return max(float(self.min_value), min(float(self.max_value), float(value)))
+        span = self.max_value - self.min_value + 1
+        return (int(value) - self.min_value) % span + self.min_value
+
+    def contains(self, value: Number) -> bool:
+        if self.is_bool:
+            return isinstance(value, bool) or value in (0, 1)
+        if self.is_integer:
+            return isinstance(value, int) and self.min_value <= value <= self.max_value
+        return isinstance(value, (int, float))
+
+    def spanning_values(self) -> List[Number]:
+        """Values spanning the type's range, used by the `spanning` strategy."""
+        if self.is_bool:
+            return [False, True]
+        if self.is_integer:
+            lo, hi = int(self.min_value), int(self.max_value)
+            candidates = [lo, lo // 2, -1, 0, 1, hi // 2, hi]
+            out: List[Number] = []
+            for v in candidates:
+                if lo <= v <= hi and v not in out:
+                    out.append(v)
+            return out
+        return [float(self.min_value), -1.0, 0.0, 1.0, float(self.max_value)]
+
+    def pack(self, value: Number) -> bytes:
+        try:
+            if self.is_bool:
+                return struct.pack("<" + self.fmt, 1 if value else 0)
+            return struct.pack("<" + self.fmt, value)
+        except (struct.error, OverflowError) as exc:
+            raise WireFormatError(
+                f"value {value!r} does not fit wire type {self.name}") from exc
+
+    def unpack(self, data: bytes, offset: int) -> Number:
+        try:
+            (value,) = struct.unpack_from("<" + self.fmt, data, offset)
+        except struct.error as exc:
+            raise WireFormatError(
+                f"truncated {self.name} at offset {offset}") from exc
+        if self.is_bool:
+            return bool(value)
+        return value
+
+
+def _int_type(name: str, fmt: str, size: int, signed: bool) -> ScalarType:
+    if signed:
+        lo, hi = -(1 << (8 * size - 1)), (1 << (8 * size - 1)) - 1
+    else:
+        lo, hi = 0, (1 << (8 * size)) - 1
+    return ScalarType(name, fmt, size, True, signed, lo, hi)
+
+
+BOOL = ScalarType("bool", "B", 1, True, False, 0, 1)
+I8 = _int_type("i8", "b", 1, True)
+U8 = _int_type("u8", "B", 1, False)
+I16 = _int_type("i16", "h", 2, True)
+U16 = _int_type("u16", "H", 2, False)
+I32 = _int_type("i32", "i", 4, True)
+U32 = _int_type("u32", "I", 4, False)
+I64 = _int_type("i64", "q", 8, True)
+U64 = _int_type("u64", "Q", 8, False)
+F32 = ScalarType("f32", "f", 4, False, True, -3.4028235e38, 3.4028235e38)
+F64 = ScalarType("f64", "d", 8, False, True, -1.7976931348623157e308,
+                 1.7976931348623157e308)
+
+SCALAR_TYPES = {t.name: t for t in
+                (BOOL, I8, U8, I16, U16, I32, U32, I64, U64, F32, F64)}
+
+
+def scalar_type(name: str) -> ScalarType:
+    try:
+        return SCALAR_TYPES[name]
+    except KeyError:
+        raise WireFormatError(f"unknown scalar type {name!r}") from None

@@ -1,0 +1,122 @@
+"""Protocol-level tests for Aardvark (robust BFT) and the classroom Paxos."""
+
+import pytest
+
+from repro.attacks.actions import (DelayAction, DropAction, DuplicateAction,
+                                   LyingAction)
+from repro.attacks.strategies import LyingStrategy
+from repro.common.ids import client, replica
+from repro.controller.harness import AttackHarness
+from repro.systems.aardvark.testbed import aardvark_testbed
+from repro.systems.paxos.testbed import paxos_testbed
+
+
+def run_aardvark(malicious="backup", mtype=None, action=None, warmup=1.0,
+                 window=3.0, seed=1):
+    h = AttackHarness(aardvark_testbed(malicious=malicious, warmup=warmup,
+                                       window=window), seed=seed)
+    inst = h.start_run(take_warm_snapshot=False)
+    if mtype:
+        inst.proxy.set_policy(mtype, action)
+    return h.measure_window(), inst
+
+
+class TestAardvarkRobustness:
+    def test_baseline_comparable_to_pbft(self):
+        sample, __ = run_aardvark()
+        assert sample.throughput > 80
+
+    def test_duplication_flood_is_muted(self):
+        baseline, __ = run_aardvark()
+        attacked, inst = run_aardvark(malicious="primary", mtype="PrePrepare",
+                                      action=DuplicateAction(50))
+        assert attacked.throughput > baseline.throughput * 0.9
+        dropped = sum(inst.world.node(replica(i)).duplicates_dropped
+                      for i in range(4))
+        assert dropped > 1000
+
+    def test_status_dup_flood_muted(self):
+        baseline, __ = run_aardvark()
+        attacked, __ = run_aardvark(mtype="Status",
+                                    action=DuplicateAction(50))
+        assert attacked.throughput > baseline.throughput * 0.9
+
+    def test_moderate_status_delay_still_slows(self):
+        baseline, __ = run_aardvark(window=4.0)
+        attacked, __ = run_aardvark(mtype="Status", action=DelayAction(1.0),
+                                    window=4.0)
+        assert attacked.throughput < baseline.throughput * 0.95
+
+    def test_large_status_delay_muted(self):
+        baseline, __ = run_aardvark(window=4.0)
+        attacked, inst = run_aardvark(mtype="Status", action=DelayAction(3.0),
+                                      window=4.0)
+        assert attacked.throughput > baseline.throughput * 0.97
+        muted = sum(inst.world.app(replica(i)).muted_statuses
+                    for i in (0, 2, 3))
+        assert muted > 0
+
+    @pytest.mark.parametrize("mtype,field,malicious", [
+        ("PrePrepare", "big_reqs", "primary"),
+        ("PrePrepare", "ndet_choices", "primary"),
+        ("Status", "nmsgs", "backup"),
+    ])
+    def test_three_lying_attacks_still_crash(self, mtype, field, malicious):
+        sample, __ = run_aardvark(malicious=malicious, mtype=mtype,
+                                  action=LyingAction(field,
+                                                     LyingStrategy("min")))
+        assert sample.crashed_nodes == 3
+
+    def test_delay_preprepare_still_hurts(self):
+        # robustness mechanisms do not protect against a slow primary
+        attacked, __ = run_aardvark(malicious="primary", mtype="PrePrepare",
+                                    action=DelayAction(1.0), window=4.0)
+        assert attacked.throughput < 10
+
+
+def run_paxos(malicious=0, mtype=None, action=None, warmup=1.0, window=2.0,
+              seed=1):
+    h = AttackHarness(paxos_testbed(malicious_index=malicious, warmup=warmup,
+                                    window=window), seed=seed)
+    inst = h.start_run(take_warm_snapshot=False)
+    if mtype:
+        inst.proxy.set_policy(mtype, action)
+    return h.measure_window(), inst
+
+
+class TestPaxos:
+    def test_baseline(self):
+        sample, inst = run_paxos()
+        assert sample.throughput > 120
+        assert inst.world.crashed_nodes() == []
+
+    def test_replicas_learn_chosen_values(self):
+        __, inst = run_paxos()
+        applied = [inst.world.app(replica(i)).last_applied for i in range(3)]
+        assert min(applied) > 0
+        assert max(applied) - min(applied) <= 2
+
+    def test_delay_accept_attack(self):
+        baseline, __ = run_paxos()
+        attacked, __ = run_paxos(mtype="Accept", action=DelayAction(1.0),
+                                 window=4.0)
+        assert attacked.throughput < baseline.throughput * 0.05
+
+    def test_drop_learn_still_replies(self):
+        # the leader applies locally and replies; learners lag but the
+        # client is served
+        sample, __ = run_paxos(mtype="Learn", action=DropAction(1.0))
+        assert sample.throughput > 100
+
+    def test_heartbeat_keeps_leader(self):
+        __, inst = run_paxos(window=3.0)
+        assert all(inst.world.app(replica(i)).ballot == 0 for i in range(3))
+
+    def test_snapshot_roundtrip(self):
+        __, inst = run_paxos(window=1.0)
+        import pickle
+        for i in range(3):
+            app = inst.world.app(replica(i))
+            state = app.snapshot_state()
+            app.restore_state(pickle.loads(pickle.dumps(state)))
+            assert app.snapshot_state() == state

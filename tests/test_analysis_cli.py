@@ -1,0 +1,245 @@
+"""Tests for the analysis tooling, the system registry, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.reports import (excluded_scenarios, load_report,
+                                    render_markdown, report_from_dict,
+                                    report_to_dict, save_report)
+from repro.analysis.traffic import TrafficTap
+from repro.attacks.actions import (AttackScenario, DelayAction, DropAction,
+                                   DuplicateAction, DivertAction, LyingAction)
+from repro.attacks.strategies import LyingStrategy
+from repro.cli import main, parse_action
+from repro.common.errors import ConfigError
+from repro.controller.costs import CostLedger
+from repro.controller.monitor import PerfSample
+from repro.search.results import AttackFinding, SearchReport
+from repro.systems.registry import get_system, registry, system_names
+
+
+def make_report():
+    sample_a = PerfSample(0.0, 6.0, 120.0, 0.008, 0.008, 0.009, 0)
+    sample_b = PerfSample(0.0, 6.0, 1.0, 0.5, 0.6, 0.7, 2)
+    finding = AttackFinding(
+        AttackScenario("PrePrepare",
+                       LyingAction("big_reqs", LyingStrategy("min"))),
+        sample_a, sample_b, damage=0.99, crashes=2, found_at=42.0,
+        confirmations=2)
+    ledger = CostLedger()
+    ledger.charge("boot", 8.0)
+    ledger.charge("execution", 30.0)
+    return SearchReport("weighted-greedy", "pbft", findings=[finding],
+                        ledger=ledger, scenarios_evaluated=5,
+                        injection_points=1,
+                        types_without_injection=["ViewChange"])
+
+
+class TestReportPersistence:
+    def test_dict_roundtrip(self):
+        report = make_report()
+        clone = report_from_dict(report_to_dict(report))
+        assert clone.algorithm == report.algorithm
+        assert clone.attack_names() == report.attack_names()
+        assert clone.findings[0].scenario == report.findings[0].scenario
+        assert clone.findings[0].baseline == report.findings[0].baseline
+        assert clone.total_time == report.total_time
+        assert clone.types_without_injection == ["ViewChange"]
+
+    def test_json_file_roundtrip(self, tmp_path):
+        report = make_report()
+        path = str(tmp_path / "report.json")
+        save_report(report, path)
+        with open(path) as fh:
+            json.load(fh)  # valid JSON on disk
+        clone = load_report(path)
+        assert clone.attack_names() == report.attack_names()
+
+    def test_excluded_scenarios(self):
+        report = make_report()
+        exclude = excluded_scenarios(report)
+        assert report.findings[0].scenario.to_record() in exclude
+
+    def test_markdown_rendering(self):
+        text = render_markdown(make_report())
+        assert "weighted-greedy" in text
+        assert "Lie big_reqs=min PrePrepare" in text
+        assert "99%" in text
+        assert "ViewChange" in text
+
+    def test_markdown_empty_report(self):
+        empty = SearchReport("greedy", "pbft")
+        assert "No attacks found" in render_markdown(empty)
+
+
+class TestTrafficTap:
+    def test_counts_by_type(self):
+        from repro.controller.harness import AttackHarness
+        from repro.systems.pbft.testbed import pbft_testbed
+        h = AttackHarness(pbft_testbed(warmup=0.5, window=1.0), seed=1)
+        inst = h.start_run(take_warm_snapshot=False)
+        tap = TrafficTap(inst.world.emulator, inst.world.codec)
+        h.measure_window()
+        active = tap.active_types()
+        for expected in ("PrePrepare", "Prepare", "Commit", "Reply",
+                         "Request", "Status"):
+            assert expected in active
+        assert "ViewChange" not in active
+        assert tap.total_sent() > 100
+        rendered = tap.render()
+        assert "PrePrepare" in rendered
+
+
+class TestRegistry:
+    def test_all_systems_present(self):
+        assert system_names() == ["aardvark", "byzgen", "paxos", "pbft",
+                                  "prime", "steward", "tom", "zyzzyva"]
+
+    def test_unknown_system(self):
+        with pytest.raises(ConfigError):
+            get_system("raft")
+
+    def test_entries_have_valid_schemas(self):
+        for name in system_names():
+            entry = registry()[name]
+            assert entry.schema.message_names()
+            assert entry.default_role in entry.roles
+
+    def test_factories_build(self):
+        entry = get_system("pbft")
+        factory = entry.build("backup", 1.0, 2.0)
+        instance = factory(0)
+        assert instance.schema is entry.schema
+
+
+class TestParseAction:
+    @pytest.mark.parametrize("spec,expected", [
+        ("drop", DropAction(1.0)),
+        ("drop:0.5", DropAction(0.5)),
+        ("delay:1.0", DelayAction(1.0)),
+        ("dup:50", DuplicateAction(50)),
+        ("divert", DivertAction()),
+        ("lie:seq:min", LyingAction("seq", LyingStrategy("min"))),
+        ("lie:seq:mul:2", LyingAction("seq", LyingStrategy("mul", 2))),
+    ])
+    def test_good_specs(self, spec, expected):
+        assert parse_action(spec) == expected
+
+    @pytest.mark.parametrize("spec", ["teleport", "delay", "dup:x",
+                                      "lie:seq"])
+    def test_bad_specs(self, spec):
+        with pytest.raises(SystemExit):
+            parse_action(spec)
+
+
+class TestCli:
+    def test_systems_command(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        for name in system_names():
+            assert name in out
+
+    def test_schema_command(self, capsys):
+        assert main(["schema", "pbft"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol pbft" in out
+        assert "message PrePrepare" in out
+
+    def test_baseline_command(self, capsys):
+        assert main(["baseline", "paxos", "--warmup", "0.5",
+                     "--window", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "upd/s" in out
+
+    def test_attack_command(self, capsys):
+        assert main(["attack", "paxos", "--type", "Accept",
+                     "--action", "delay:1.0", "--warmup", "0.5",
+                     "--window", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "ATTACK" in out
+
+    def test_attack_command_benign_action(self, capsys):
+        assert main(["attack", "paxos", "--type", "Heartbeat",
+                     "--action", "dup:2", "--warmup", "0.5",
+                     "--window", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "no attack" in out
+
+    def test_bad_role_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["baseline", "pbft", "--malicious", "nonsense",
+                  "--warmup", "0.5", "--window", "1.0"])
+
+    def test_search_command_with_json(self, capsys, tmp_path):
+        path = str(tmp_path / "out.json")
+        code = main(["search", "paxos", "--types", "Accept", "--fast",
+                     "--no-lying", "--warmup", "0.5", "--window", "1.5",
+                     "--max-wait", "5", "--json", path])
+        assert code == 0
+        report = load_report(path)
+        assert report.findings
+        out = capsys.readouterr().out
+        assert "weighted-greedy" in out
+
+    def test_search_exclude_from(self, capsys, tmp_path):
+        path = str(tmp_path / "pass1.json")
+        main(["search", "paxos", "--types", "Accept", "--fast", "--no-lying",
+              "--warmup", "0.5", "--window", "1.5", "--max-wait", "5",
+              "--json", path])
+        first = load_report(path).attack_names()
+        code = main(["search", "paxos", "--types", "Accept", "--fast",
+                     "--no-lying", "--warmup", "0.5", "--window", "1.5",
+                     "--max-wait", "5", "--exclude-from", path,
+                     "--allow-empty"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in first:
+            assert name not in out.split("\n")[-3:]  # not re-found
+
+
+class TestTimeline:
+    def _world_with_log(self):
+        from repro.attacks.actions import LyingAction
+        from repro.attacks.strategies import LyingStrategy
+        from repro.controller.harness import AttackHarness
+        from repro.systems.pbft.testbed import pbft_testbed
+
+        def factory(seed):
+            instance = pbft_testbed(warmup=0.5, window=1.0)(seed)
+            instance.world.log.enabled = True
+            return instance
+
+        h = AttackHarness(factory, seed=1)
+        inst = h.start_run(take_warm_snapshot=False)
+        inst.proxy.set_policy(
+            "PrePrepare", LyingAction("big_reqs", LyingStrategy("min")))
+        h.measure_window()
+        return inst.world
+
+    def test_crashes_extracted(self):
+        from repro.analysis.timeline import Timeline
+        world = self._world_with_log()
+        timeline = Timeline(world.log)
+        crashes = timeline.crashes()
+        assert len(crashes) == 3
+        assert all("SegmentationFault" in c.reason for c in crashes)
+        assert timeline.first_crash().time <= crashes[-1].time
+
+    def test_sends_and_counts(self):
+        from repro.analysis.timeline import Timeline
+        world = self._world_with_log()
+        timeline = Timeline(world.log)
+        sends = timeline.sends_by_type()
+        assert sends.get("PrePrepare", 0) > 0
+        counts = timeline.event_counts()
+        assert counts[("netem", "deliver")] > 0
+        buckets = timeline.deliveries_per_second()
+        assert buckets and all(n > 0 for __, n in buckets)
+
+    def test_render(self):
+        from repro.analysis.timeline import Timeline
+        world = self._world_with_log()
+        text = Timeline(world.log).render()
+        assert "crashes:" in text
+        assert "top events:" in text

@@ -1,0 +1,227 @@
+"""Tests for malicious actions, lying strategies, and the action space."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.attacks.actions import (ActionContext, AttackScenario, DelayAction,
+                                   DivertAction, DropAction, DuplicateAction,
+                                   LyingAction, MaliciousAction)
+from repro.attacks.space import ActionSpace, ActionSpaceConfig
+from repro.attacks.strategies import (ALL_STRATEGIES, LyingStrategy,
+                                      default_strategies)
+from repro.common.errors import ProxyError
+from repro.common.ids import replica
+from repro.common.rng import RandomStream
+from repro.netem.packets import MessageEnvelope
+from repro.wire.codec import Message, ProtocolCodec
+from repro.wire.schema import ProtocolSchema, make_message
+from repro.wire.types import scalar_type
+
+SCHEMA = ProtocolSchema("atk", (
+    make_message("Data", 1, [("seq", "i32"), ("weight", "f64"),
+                             ("on", "bool"), ("body", "varbytes<u16>")]),
+    make_message("Ctl", 2, [("code", "u8")]),
+))
+CODEC = ProtocolCodec(SCHEMA)
+NODES = [replica(i) for i in range(4)]
+
+
+def ctx(seed=0):
+    return ActionContext(CODEC, RandomStream(seed, "t"), NODES)
+
+
+def env(payload=None, src=0, dst=1):
+    if payload is None:
+        payload = CODEC.encode(Message("Data", {
+            "seq": 10, "weight": 1.5, "on": True, "body": b"xyz"}))
+    return MessageEnvelope(1, replica(src), replica(dst), "udp", payload)
+
+
+class TestDeliveryActions:
+    def test_drop_certain(self):
+        assert DropAction(1.0).apply(env(), ctx()) == []
+
+    def test_drop_probabilistic_is_deterministic_per_stream(self):
+        results_a = [len(DropAction(0.5).apply(env(), ctx_)) for ctx_ in
+                     [ActionContext(CODEC, RandomStream(7, "s"), NODES)]
+                     for __ in range(20)]
+        results_b = [len(DropAction(0.5).apply(env(), ctx_)) for ctx_ in
+                     [ActionContext(CODEC, RandomStream(7, "s"), NODES)]
+                     for __ in range(20)]
+        assert results_a == results_b
+        assert 0 in results_a and 1 in results_a
+
+    def test_drop_validation(self):
+        with pytest.raises(ProxyError):
+            DropAction(0.0)
+        with pytest.raises(ProxyError):
+            DropAction(1.5)
+
+    def test_delay_preserves_payload(self):
+        deliveries = DelayAction(0.7).apply(env(), ctx())
+        assert len(deliveries) == 1
+        assert deliveries[0].extra_delay == 0.7
+        assert deliveries[0].dst == replica(1)
+
+    def test_delay_validation(self):
+        with pytest.raises(ProxyError):
+            DelayAction(0.0)
+
+    def test_duplicate_count(self):
+        deliveries = DuplicateAction(5).apply(env(), ctx())
+        assert len(deliveries) == 5
+        assert all(d.dst == replica(1) for d in deliveries)
+
+    def test_duplicate_validation(self):
+        with pytest.raises(ProxyError):
+            DuplicateAction(1)
+
+    def test_divert_deterministic_next_node(self):
+        deliveries = DivertAction().apply(env(src=0, dst=1), ctx())
+        assert deliveries[0].dst == replica(2)
+
+    def test_divert_wraps_around(self):
+        deliveries = DivertAction().apply(env(src=2, dst=3), ctx())
+        assert deliveries[0].dst == replica(0)
+
+    def test_divert_never_picks_src_or_dst(self):
+        for s in range(3):
+            for d in range(3):
+                if s == d:
+                    continue
+                out = DivertAction().apply(env(src=s, dst=d), ctx())[0].dst
+                assert out not in (replica(s), replica(d))
+
+
+class TestLyingAction:
+    def test_lie_min_on_int(self):
+        action = LyingAction("seq", LyingStrategy("min"))
+        payload = action.apply(env(), ctx())[0].payload
+        assert CODEC.decode(payload)["seq"] == -2**31
+
+    def test_lie_preserves_other_fields(self):
+        action = LyingAction("seq", LyingStrategy("max"))
+        decoded = CODEC.decode(action.apply(env(), ctx())[0].payload)
+        assert decoded["body"] == b"xyz"
+        assert decoded["on"] is True
+
+    def test_relative_strategies(self):
+        for kind, operand, expect in (("add", 5, 15), ("sub", 3, 7),
+                                      ("mul", 2, 20)):
+            action = LyingAction("seq", LyingStrategy(kind, operand))
+            decoded = CODEC.decode(action.apply(env(), ctx())[0].payload)
+            assert decoded["seq"] == expect
+
+    def test_lie_on_float(self):
+        action = LyingAction("weight", LyingStrategy("mul", -1))
+        decoded = CODEC.decode(action.apply(env(), ctx())[0].payload)
+        assert decoded["weight"] == -1.5
+
+    def test_lie_on_bool(self):
+        action = LyingAction("on", LyingStrategy("min"))
+        decoded = CODEC.decode(action.apply(env(), ctx())[0].payload)
+        assert decoded["on"] is False
+
+    def test_spanning_indexes_spanning_set(self):
+        t = scalar_type("i32")
+        for i, expect in enumerate(t.spanning_values()):
+            action = LyingAction("seq", LyingStrategy("spanning", i))
+            decoded = CODEC.decode(action.apply(env(), ctx())[0].payload)
+            assert decoded["seq"] == expect
+
+    def test_unknown_message_passes_through(self):
+        action = LyingAction("seq", LyingStrategy("min"))
+        raw = b"\xff\xff???"
+        bogus = MessageEnvelope(1, replica(0), replica(1), "udp", raw)
+        assert action.apply(bogus, ctx())[0].payload == raw
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ProxyError):
+            LyingStrategy("sneeze")
+
+
+class TestRecords:
+    @pytest.mark.parametrize("action", [
+        DropAction(0.5), DelayAction(1.0), DivertAction(),
+        DuplicateAction(50), LyingAction("seq", LyingStrategy("mul", 2)),
+    ], ids=lambda a: a.describe())
+    def test_roundtrip(self, action):
+        assert MaliciousAction.from_record(action.to_record()) == action
+
+    def test_scenario_roundtrip(self):
+        scenario = AttackScenario("Data", DelayAction(1.0))
+        assert AttackScenario.from_record(scenario.to_record()) == scenario
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProxyError):
+            MaliciousAction.from_record(("teleport",))
+
+    def test_describe(self):
+        assert AttackScenario("Data", DelayAction(1.0)).describe() == \
+            "Delay 1s Data"
+        assert DropAction(0.5).describe() == "Drop 50%"
+        assert DuplicateAction(50).describe() == "Dup x50"
+
+
+class TestClusters:
+    def test_delivery_clusters(self):
+        assert DropAction(0.5).cluster == "drop"
+        assert DelayAction(1.0).cluster == "delay"
+        assert DivertAction().cluster == "divert"
+        assert DuplicateAction(2).cluster == "duplicate"
+
+    def test_lying_clusters(self):
+        assert LyingAction("s", LyingStrategy("min")).cluster == "lie-boundary"
+        assert LyingAction("s", LyingStrategy("spanning", 1)).cluster == \
+            "lie-boundary"
+        assert LyingAction("s", LyingStrategy("random")).cluster == "lie-random"
+        assert LyingAction("s", LyingStrategy("add", 1)).cluster == \
+            "lie-relative"
+
+
+class TestActionSpace:
+    def test_delivery_action_count(self):
+        space = ActionSpace(SCHEMA)
+        # 2 delays + 2 drops + 2 dups + divert
+        assert len(space.delivery_actions()) == 7
+
+    def test_lying_enumeration_covers_scalar_fields(self):
+        space = ActionSpace(SCHEMA)
+        lies = space.lying_actions(SCHEMA.message_named("Data"))
+        fields = {a.field for a in lies}
+        assert fields == {"seq", "weight", "on"}  # varbytes excluded
+
+    def test_strategy_counts_per_type(self):
+        i32 = scalar_type("i32")
+        strategies = default_strategies(i32)
+        # min, max, random + 7 spanning + add/sub/mul2/mul-1
+        assert len(strategies) == 3 + len(i32.spanning_values()) + 4
+
+    def test_bool_has_no_relative_strategies(self):
+        strategies = default_strategies(scalar_type("bool"))
+        assert all(s.kind not in ("add", "sub", "mul") for s in strategies)
+
+    def test_all_scenarios_counts(self):
+        space = ActionSpace(SCHEMA)
+        summary = space.summary()
+        assert summary["Ctl"] == 7 + len(space.lying_actions(
+            SCHEMA.message_named("Ctl")))
+        assert space.size() == sum(summary.values())
+        assert len(space.all_scenarios()) == space.size()
+
+    def test_config_trims_space(self):
+        cfg = ActionSpaceConfig(delays=(1.0,), drop_probabilities=(),
+                                duplicate_counts=(), include_divert=False,
+                                include_lying=False)
+        space = ActionSpace(SCHEMA, cfg)
+        assert [a.describe() for a in space.actions_for("Data")] == ["Delay 1s"]
+
+    @given(st.sampled_from(ALL_STRATEGIES),
+           st.integers(min_value=-100, max_value=100))
+    def test_all_strategies_always_encodable(self, kind, operand):
+        if kind == "spanning":
+            operand = abs(operand)
+        strategy = LyingStrategy(kind, operand)
+        action = LyingAction("seq", strategy)
+        payload = action.apply(env(), ctx())[0].payload
+        CODEC.decode(payload)  # must never produce an unencodable message

@@ -1,0 +1,128 @@
+"""Tests for the classroom targets: Byzantine Generals and Total Order
+Multicast (Section V-D)."""
+
+import pytest
+
+from repro.attacks.actions import DelayAction, DropAction, LyingAction
+from repro.attacks.strategies import LyingStrategy
+from repro.common.ids import replica
+from repro.controller.harness import AttackHarness
+from repro.systems.byzgen.testbed import byzgen_testbed
+from repro.systems.tom.testbed import tom_testbed
+
+
+def run(factory, mtype=None, action=None, window=2.0, seed=1):
+    h = AttackHarness(factory, seed=seed)
+    inst = h.start_run(take_warm_snapshot=False)
+    if mtype:
+        inst.proxy.set_policy(mtype, action)
+    return h.measure_window(window), inst, h
+
+
+class TestByzantineGenerals:
+    def test_rounds_decide(self):
+        sample, inst, __ = run(byzgen_testbed(warmup=1.0))
+        # 20 rounds/s x 3 deciding lieutenants
+        assert 50 < sample.throughput < 70
+        for i in range(1, 4):
+            assert inst.world.app(replica(i)).decisions > 0
+
+    def test_lieutenants_agree(self):
+        __, inst, __ = run(byzgen_testbed(warmup=1.0))
+        counts = [inst.world.app(replica(i)).decisions for i in range(1, 4)]
+        assert max(counts) - min(counts) <= 2
+
+    def test_commander_does_not_decide(self):
+        __, inst, __ = run(byzgen_testbed(warmup=1.0))
+        assert inst.world.app(replica(0)).decisions == 0
+
+    def test_delay_order_attack(self):
+        baseline, __, __ = run(byzgen_testbed(warmup=1.0))
+        attacked, __, __ = run(byzgen_testbed(0, warmup=1.0), "Order",
+                               DelayAction(1.0), window=3.0)
+        assert attacked.latency_avg > 0.5
+        assert attacked.throughput < baseline.throughput
+
+    def test_drop_order_starves_agreement(self):
+        baseline, __, __ = run(byzgen_testbed(warmup=1.0))
+        attacked, __, __ = run(byzgen_testbed(0, warmup=1.0), "Order",
+                               DropAction(0.5), window=3.0)
+        assert attacked.throughput < baseline.throughput * 0.6
+
+    def test_single_lying_lieutenant_tolerated(self):
+        """OM(1) with n=4 masks one traitor: the assignment's whole point."""
+        baseline, __, __ = run(byzgen_testbed(warmup=1.0))
+        attacked, __, __ = run(byzgen_testbed(1, warmup=1.0), "Relay",
+                               LyingAction("value", LyingStrategy("max")))
+        assert attacked.throughput > baseline.throughput * 0.95
+
+    def test_snapshot_roundtrip(self):
+        __, inst, __ = run(byzgen_testbed(warmup=1.0), window=1.0)
+        import pickle
+        app = inst.world.app(replica(2))
+        state = app.snapshot_state()
+        app.restore_state(pickle.loads(pickle.dumps(state)))
+        assert app.snapshot_state() == state
+
+
+class TestTotalOrderMulticast:
+    def test_deliveries_flow(self):
+        sample, inst, __ = run(tom_testbed(warmup=1.0))
+        # 4 members x 50 publications/s, delivered by all 4
+        assert 700 < sample.throughput < 900
+
+    def test_total_order_agreement(self):
+        __, inst, __ = run(tom_testbed(warmup=1.0))
+        orders = []
+        for i in range(4):
+            app = inst.world.app(replica(i))
+            upto = min(a.delivered_upto for a in
+                       (inst.world.app(replica(j)) for j in range(4)))
+            orders.append(tuple(app.order.get(g) for g in
+                                range(max(1, upto - 50), upto + 1)))
+        assert len(set(orders)) == 1  # everyone delivered the same order
+
+    def test_delay_sequence_attack(self):
+        attacked, __, __ = run(tom_testbed(0, warmup=1.0), "Sequence",
+                               DelayAction(1.0), window=3.0)
+        assert attacked.latency_avg > 0.3
+
+    def test_drop_sequence_blocks_members(self):
+        baseline, __, __ = run(tom_testbed(warmup=1.0))
+        attacked, inst, __ = run(tom_testbed(0, warmup=1.0), "Sequence",
+                                 DropAction(0.5), window=3.0)
+        # the sequencer still delivers its own stream; everyone else blocks
+        assert attacked.throughput < baseline.throughput * 0.4
+        blocked = [inst.world.app(replica(i)).delivered_upto
+                   for i in range(1, 4)]
+        sequencer = inst.world.app(replica(0)).delivered_upto
+        assert all(b < sequencer for b in blocked)
+
+    def test_lie_global_seq_creates_permanent_gap(self):
+        baseline, __, __ = run(tom_testbed(warmup=1.0))
+        attacked, __, __ = run(tom_testbed(0, warmup=1.0), "Sequence",
+                               LyingAction("global_seq",
+                                           LyingStrategy("add", 1)),
+                               window=3.0)
+        assert attacked.throughput < baseline.throughput * 0.4
+
+    def test_snapshot_roundtrip(self):
+        __, inst, __ = run(tom_testbed(warmup=1.0), window=1.0)
+        import pickle
+        app = inst.world.app(replica(1))
+        state = app.snapshot_state()
+        app.restore_state(pickle.loads(pickle.dumps(state)))
+        assert app.snapshot_state() == state
+
+    def test_search_finds_sequencer_attack(self):
+        from repro.attacks.space import ActionSpaceConfig
+        from repro.search import WeightedGreedySearch
+        space = ActionSpaceConfig(delays=(1.0,), drop_probabilities=(1.0,),
+                                  duplicate_counts=(), include_divert=False,
+                                  include_lying=False)
+        search = WeightedGreedySearch(
+            tom_testbed(0, warmup=1.0, window=2.0), seed=1,
+            space_config=space, max_wait=5.0)
+        report = search.run(message_types=["Sequence"])
+        assert report.findings
+        assert "Sequence" in report.findings[0].name

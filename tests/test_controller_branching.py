@@ -1,0 +1,146 @@
+"""Tests for distributed snapshots and execution branching.
+
+The load-bearing property for the whole platform: restoring a snapshot
+rewinds the entire world (nodes, network, clocks, randomness, metrics), and
+re-running from it is exactly repeatable — the controller compares branches,
+so branch determinism is correctness, not a nicety.
+"""
+
+import pytest
+
+from repro.attacks.actions import DelayAction, DropAction
+from repro.common.errors import SnapshotError
+from repro.common.ids import client, replica
+from repro.controller.branching import DistributedSnapshotter
+from repro.controller.harness import AttackHarness
+from repro.systems.paxos.testbed import paxos_testbed
+from repro.systems.pbft.testbed import pbft_testbed
+
+
+def world_digest(world):
+    """A digest over every node's full state."""
+    import hashlib
+    import pickle
+    h = hashlib.blake2b(digest_size=16)
+    for node_id in sorted(world.nodes):
+        h.update(pickle.dumps(world.nodes[node_id].snapshot_state(),
+                              protocol=4))
+    h.update(pickle.dumps(world.metrics.save_state(), protocol=4))
+    h.update(repr(world.kernel.now).encode())
+    return h.digest()
+
+
+@pytest.fixture(scope="module")
+def harness():
+    h = AttackHarness(paxos_testbed(warmup=1.0, window=1.5), seed=3)
+    h.start_run()
+    return h
+
+
+class TestSnapshotterBasics:
+    def test_requires_booted_world(self):
+        instance = paxos_testbed()(0)
+        with pytest.raises(SnapshotError):
+            DistributedSnapshotter(instance.world)
+
+    def test_save_returns_costs(self, harness):
+        snap = harness.snapshotter.save()
+        assert snap.save_cost > 0
+        assert snap.restore_cost > 0
+        assert snap.restore_cost < snap.save_cost
+        assert snap.taken_at == harness.world.kernel.now
+
+    def test_save_leaves_world_running(self, harness):
+        harness.snapshotter.save()
+        assert not harness.world.emulator.frozen
+        assert not harness.world.cluster.all_paused
+
+
+class TestRewind:
+    def test_restore_rewinds_clock_and_state(self):
+        h = AttackHarness(paxos_testbed(warmup=1.0), seed=1)
+        h.start_run()
+        snap = h.take_snapshot()
+        t0 = h.world.kernel.now
+        d0 = world_digest(h.world)
+        h.world.run_for(1.0)
+        assert h.world.kernel.now > t0
+        h.restore(snap)
+        assert h.world.kernel.now == t0
+        assert world_digest(h.world) == d0
+
+    def test_branch_execution_is_repeatable(self):
+        h = AttackHarness(paxos_testbed(warmup=1.0), seed=2)
+        h.start_run()
+        snap = h.take_snapshot()
+
+        digests, throughputs = [], []
+        for __ in range(3):
+            h.restore(snap)
+            h.world.run_for(1.5)
+            digests.append(world_digest(h.world))
+            throughputs.append(h.world.metrics.throughput(
+                snap.taken_at, snap.taken_at + 1.5))
+        assert digests[0] == digests[1] == digests[2]
+        assert throughputs[0] == throughputs[1] == throughputs[2]
+        assert throughputs[0] > 0
+
+    def test_different_branches_can_diverge(self):
+        h = AttackHarness(pbft_testbed(warmup=1.0, window=1.5), seed=2)
+        inst = h.start_run()
+        injection = h.run_to_injection("PrePrepare")
+        assert injection is not None
+        baseline = h.branch_measure(injection, None)
+        attacked = h.branch_measure(injection, DelayAction(1.0))
+        assert baseline.throughput > 0
+        assert attacked.throughput < baseline.throughput / 2
+
+    def test_branches_do_not_contaminate_each_other(self):
+        h = AttackHarness(pbft_testbed(warmup=1.0, window=1.5), seed=2)
+        h.start_run()
+        injection = h.run_to_injection("PrePrepare")
+        before = h.branch_measure(injection, None)
+        h.branch_measure(injection, DropAction(1.0))
+        after = h.branch_measure(injection, None)
+        assert after.throughput == pytest.approx(before.throughput)
+
+
+class TestHarness:
+    def test_run_to_injection_returns_point(self):
+        h = AttackHarness(pbft_testbed(warmup=1.0, window=1.0), seed=4)
+        h.start_run()
+        injection = h.run_to_injection("PrePrepare")
+        assert injection is not None
+        assert injection.message_type == "PrePrepare"
+        assert injection.src == replica(0)
+        assert injection.time <= h.world.kernel.now
+
+    def test_run_to_injection_times_out_for_unsent_type(self):
+        h = AttackHarness(pbft_testbed(warmup=0.5, window=1.0), seed=4)
+        h.start_run()
+        before = h.ledger.total()
+        injection = h.run_to_injection("ViewChange", max_wait=2.0)
+        assert injection is None
+        # the wasted execution is charged
+        assert h.ledger.total() >= before + 2.0
+
+    def test_ledger_categories_populated(self):
+        h = AttackHarness(pbft_testbed(warmup=1.0, window=1.0), seed=4)
+        h.start_run()
+        injection = h.run_to_injection("PrePrepare")
+        h.branch_measure(injection, None)
+        assert h.ledger.get("boot") > 0
+        assert h.ledger.get("execution") > 0
+        assert h.ledger.get("snapshot_save") > 0
+        assert h.ledger.get("snapshot_restore") > 0
+
+    def test_measure_window_reports_crashes(self):
+        from repro.attacks.actions import LyingAction
+        from repro.attacks.strategies import LyingStrategy
+        h = AttackHarness(pbft_testbed(warmup=1.0, window=1.5,
+                                       malicious="primary"), seed=4)
+        inst = h.start_run(take_warm_snapshot=False)
+        inst.proxy.set_policy("PrePrepare",
+                              LyingAction("big_reqs", LyingStrategy("min")))
+        sample = h.measure_window()
+        assert sample.crashed_nodes == 3

@@ -1,0 +1,110 @@
+"""Tests for the metrics collector and the performance monitor/Δ rule."""
+
+import pytest
+
+from repro.common.ids import client, replica
+from repro.metrics.collector import UPDATE_DONE, MetricsCollector
+from repro.controller.monitor import (AttackThreshold, PerfSample,
+                                      PerformanceMonitor)
+
+
+def collector_with_updates(times):
+    metrics = MetricsCollector()
+    for t in times:
+        metrics.record(t, client(0), UPDATE_DONE, 0.005)
+    return metrics
+
+
+class TestCollector:
+    def test_throughput_window(self):
+        metrics = collector_with_updates([0.1 * i for i in range(100)])
+        assert metrics.throughput(0.0, 9.9) == pytest.approx(100 / 9.9)
+
+    def test_window_boundaries_inclusive(self):
+        metrics = collector_with_updates([1.0, 2.0, 3.0])
+        assert metrics.count_in(UPDATE_DONE, 1.0, 3.0) == 3
+        assert metrics.count_in(UPDATE_DONE, 1.5, 2.5) == 1
+
+    def test_empty_window(self):
+        metrics = collector_with_updates([1.0])
+        assert metrics.throughput(2.0, 3.0) == 0.0
+        assert metrics.latency_stats(2.0, 3.0) == (0.0, 0.0, 0.0)
+
+    def test_degenerate_window(self):
+        metrics = collector_with_updates([1.0])
+        assert metrics.throughput(1.0, 1.0) == 0.0
+
+    def test_latency_stats(self):
+        metrics = MetricsCollector()
+        for i, lat in enumerate([0.001, 0.005, 0.003]):
+            metrics.record(float(i), client(0), UPDATE_DONE, lat)
+        lo, avg, hi = metrics.latency_stats(0.0, 10.0)
+        assert lo == 0.001 and hi == 0.005
+        assert avg == pytest.approx(0.003)
+
+    def test_named_filtering(self):
+        metrics = MetricsCollector()
+        metrics.record(1.0, replica(0), "other", 1.0)
+        metrics.record(1.0, client(0), UPDATE_DONE, 1.0)
+        assert len(metrics.events(UPDATE_DONE)) == 1
+        assert metrics.count_in("other", 0.0, 2.0) == 1
+
+    def test_save_load(self):
+        metrics = collector_with_updates([1.0, 2.0])
+        state = metrics.save_state()
+        other = MetricsCollector()
+        other.load_state(state)
+        assert other.count_in(UPDATE_DONE, 0.0, 3.0) == 2
+
+    def test_last_event_time(self):
+        metrics = collector_with_updates([1.0, 4.0])
+        assert metrics.last_event_time() == 4.0
+        assert MetricsCollector().last_event_time() is None
+
+
+def sample(throughput, crashed=0):
+    return PerfSample(0.0, 6.0, throughput, 0.001, 0.002, 0.003, crashed)
+
+
+class TestThreshold:
+    def test_damage_fraction(self):
+        rule = AttackThreshold(delta=0.25)
+        assert rule.damage(sample(100), sample(50)) == pytest.approx(0.5)
+        assert rule.damage(sample(100), sample(100)) == 0.0
+
+    def test_improvement_clamped_to_zero(self):
+        rule = AttackThreshold()
+        assert rule.damage(sample(100), sample(150)) == 0.0
+
+    def test_is_attack_above_delta(self):
+        rule = AttackThreshold(delta=0.25)
+        assert rule.is_attack(sample(100), sample(70))
+        assert not rule.is_attack(sample(100), sample(80))
+
+    def test_crash_is_always_attack(self):
+        rule = AttackThreshold(delta=0.25)
+        assert rule.is_attack(sample(100), sample(100, crashed=1))
+
+    def test_crash_rule_can_be_disabled(self):
+        rule = AttackThreshold(delta=0.25, crash_is_attack=False)
+        assert not rule.is_attack(sample(100), sample(100, crashed=1))
+
+    def test_zero_baseline(self):
+        rule = AttackThreshold()
+        assert rule.damage(sample(0), sample(0)) == 0.0
+        assert rule.damage(sample(0), sample(0, crashed=2)) == 1.0
+
+
+class TestMonitor:
+    def test_sample_composition(self):
+        metrics = collector_with_updates([0.5 * i for i in range(20)])
+        monitor = PerformanceMonitor(metrics)
+        s = monitor.sample(0.0, 9.5, crashed_nodes=1)
+        assert s.throughput == pytest.approx(20 / 9.5)
+        assert s.crashed_nodes == 1
+        assert s.window == pytest.approx(9.5)
+
+    def test_describe_readable(self):
+        s = sample(42.0, crashed=2)
+        text = s.describe()
+        assert "42.00" in text and "crashed" in text

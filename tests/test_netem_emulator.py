@@ -1,0 +1,266 @@
+"""Tests for the network emulator: delivery, interception, freeze, save/load."""
+
+import pytest
+
+from repro.common.errors import NetworkError
+from repro.common.ids import replica
+from repro.common.units import millis
+from repro.netem.emulator import Delivery, NetworkEmulator, Verdict
+from repro.netem.packets import MTU
+from repro.netem.topology import LanTopology, SiteTopology, Topology
+from repro.sim.kernel import SimKernel
+
+A, B, C = replica(0), replica(1), replica(2)
+
+
+def build(delay=millis(1), device_kind="BundledDevice"):
+    kernel = SimKernel()
+    emulator = NetworkEmulator(kernel, LanTopology(delay=delay),
+                               device_kind=device_kind)
+    inboxes = {}
+    for node in (A, B, C):
+        emulator.register_host(node)
+        inbox = []
+        inboxes[node] = inbox
+        emulator.set_receiver(
+            node, lambda env, inbox=inbox: inbox.append(
+                (env.src, env.payload, kernel.now)))
+    return kernel, emulator, inboxes
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        kernel, emulator, inboxes = build()
+        emulator.transmit(A, B, "udp", b"hello")
+        kernel.run_until(0.1)
+        assert inboxes[B] == [(A, b"hello", pytest.approx(0.00107, abs=1e-4))]
+
+    def test_delivery_latency_includes_propagation(self):
+        kernel, emulator, inboxes = build(delay=millis(10))
+        emulator.transmit(A, B, "udp", b"x")
+        kernel.run_until(0.1)
+        assert inboxes[B][0][2] > 0.010
+
+    def test_multi_fragment_message_arrives_whole(self):
+        kernel, emulator, inboxes = build()
+        payload = b"p" * (3 * MTU)
+        emulator.transmit(A, B, "udp", payload)
+        kernel.run_until(0.1)
+        assert inboxes[B][0][1] == payload
+
+    def test_fifo_between_same_pair(self):
+        kernel, emulator, inboxes = build()
+        for i in range(5):
+            emulator.transmit(A, B, "udp", bytes([i]))
+        kernel.run_until(0.1)
+        assert [m[1] for m in inboxes[B]] == [bytes([i]) for i in range(5)]
+
+    def test_unregistered_destination_blackholed(self):
+        kernel, emulator, __ = build()
+        result = emulator.transmit(A, replica(9), "udp", b"x")
+        assert result == -1
+        assert emulator.stats.messages_blackholed == 1
+
+    def test_unregistered_source_rejected(self):
+        kernel, emulator, __ = build()
+        with pytest.raises(NetworkError):
+            emulator.transmit(replica(9), A, "udp", b"x")
+        with pytest.raises(NetworkError):
+            emulator.register_host(A)
+
+    def test_transmit_delay_postpones_egress(self):
+        kernel, emulator, inboxes = build()
+        emulator.transmit(A, B, "udp", b"x", delay=0.5)
+        kernel.run_until(0.4)
+        assert inboxes[B] == []
+        kernel.run_until(1.0)
+        assert len(inboxes[B]) == 1
+
+    def test_stats_counted(self):
+        kernel, emulator, __ = build()
+        emulator.transmit(A, B, "udp", b"x")
+        kernel.run_until(0.1)
+        assert emulator.stats.messages_sent == 1
+        assert emulator.stats.messages_delivered == 1
+
+
+class TestInterception:
+    def test_drop_verdict(self):
+        kernel, emulator, inboxes = build()
+        emulator.set_interceptor(lambda env: Verdict.drop())
+        emulator.transmit(A, B, "udp", b"x")
+        kernel.run_until(0.1)
+        assert inboxes[B] == []
+        assert emulator.stats.messages_dropped_by_proxy == 1
+
+    def test_rewrite_divert(self):
+        kernel, emulator, inboxes = build()
+        emulator.set_interceptor(
+            lambda env: Verdict.rewrite([Delivery(C, env.payload)]))
+        emulator.transmit(A, B, "udp", b"x")
+        kernel.run_until(0.1)
+        assert inboxes[B] == []
+        assert len(inboxes[C]) == 1
+
+    def test_rewrite_duplicate(self):
+        kernel, emulator, inboxes = build()
+        emulator.set_interceptor(
+            lambda env: Verdict.rewrite([Delivery(B, env.payload)] * 3))
+        emulator.transmit(A, B, "udp", b"x")
+        kernel.run_until(0.1)
+        assert len(inboxes[B]) == 3
+
+    def test_rewrite_delay(self):
+        kernel, emulator, inboxes = build()
+        emulator.set_interceptor(
+            lambda env: Verdict.rewrite(
+                [Delivery(B, env.payload, extra_delay=0.3)]))
+        emulator.transmit(A, B, "udp", b"x")
+        kernel.run_until(0.2)
+        assert inboxes[B] == []
+        kernel.run_until(0.5)
+        assert len(inboxes[B]) == 1
+
+    def test_hold_and_release(self):
+        kernel, emulator, inboxes = build()
+        emulator.set_interceptor(lambda env: Verdict.hold("tag1"))
+        emulator.transmit(A, B, "udp", b"held")
+        kernel.run_until(0.1)
+        assert inboxes[B] == []
+        assert emulator.held_tags() == ["tag1"]
+        emulator.set_interceptor(None)
+        emulator.release_held("tag1")
+        kernel.run_until(0.2)
+        assert inboxes[B][0][1] == b"held"
+
+    def test_release_with_rewrite(self):
+        kernel, emulator, inboxes = build()
+        emulator.set_interceptor(lambda env: Verdict.hold("t"))
+        emulator.transmit(A, B, "udp", b"orig")
+        emulator.set_interceptor(None)
+        emulator.release_held("t", [Delivery(C, b"mutated")])
+        kernel.run_until(0.1)
+        assert inboxes[C][0][1] == b"mutated"
+
+    def test_release_empty_drops(self):
+        kernel, emulator, inboxes = build()
+        emulator.set_interceptor(lambda env: Verdict.hold("t"))
+        emulator.transmit(A, B, "udp", b"x")
+        emulator.release_held("t", [])
+        kernel.run_until(0.1)
+        assert inboxes[B] == []
+
+    def test_drop_held(self):
+        kernel, emulator, __ = build()
+        emulator.set_interceptor(lambda env: Verdict.hold("t"))
+        emulator.transmit(A, B, "udp", b"x")
+        emulator.drop_held("t")
+        assert emulator.held_tags() == []
+
+    def test_unknown_held_tag(self):
+        kernel, emulator, __ = build()
+        with pytest.raises(NetworkError):
+            emulator.peek_held("nope")
+
+
+class TestFreezeResume:
+    def test_frozen_blocks_delivery(self):
+        kernel, emulator, inboxes = build()
+        emulator.transmit(A, B, "udp", b"x")
+        emulator.freeze()
+        kernel.run_until(0.1)
+        assert inboxes[B] == []
+
+    def test_resume_flushes_parked_packets(self):
+        kernel, emulator, inboxes = build()
+        emulator.transmit(A, B, "udp", b"x")
+        emulator.freeze()
+        kernel.run_until(0.1)
+        emulator.resume_emulation()
+        assert len(inboxes[B]) == 1
+
+    def test_transmit_while_frozen_parked(self):
+        kernel, emulator, inboxes = build()
+        emulator.freeze()
+        emulator.transmit(A, B, "udp", b"y")
+        kernel.run_until(0.1)
+        assert inboxes[B] == []
+        emulator.resume_emulation()
+        kernel.run_until(0.2)
+        assert len(inboxes[B]) == 1
+
+
+class TestSaveLoad:
+    def test_in_flight_messages_survive_reload(self):
+        kernel, emulator, __ = build()
+        emulator.transmit(A, B, "udp", b"travelling")
+        state = emulator.save_state()
+        kstate = kernel.save_state()
+
+        kernel2 = SimKernel()
+        kernel2.load_state(kstate)
+        emulator2 = NetworkEmulator(kernel2, LanTopology())
+        got = []
+        for node in (A, B, C):
+            emulator2.register_host(node)
+        emulator2.set_receiver(B, lambda env: got.append(env.payload))
+        emulator2.load_state(state)
+        kernel2.run_until(0.1)
+        assert got == [b"travelling"]
+
+    def test_load_replaces_current_flights(self):
+        kernel, emulator, inboxes = build()
+        clean = emulator.save_state()
+        kclean = kernel.save_state()
+        emulator.transmit(A, B, "udp", b"should-vanish")
+        kernel.load_state(kclean)
+        emulator.load_state(clean)
+        kernel.run_until(0.1)
+        assert inboxes[B] == []
+
+    def test_held_messages_survive_reload(self):
+        kernel, emulator, __ = build()
+        emulator.set_interceptor(lambda env: Verdict.hold("t"))
+        emulator.transmit(A, B, "udp", b"kept")
+        state = emulator.save_state()
+        emulator.drop_held("t")
+        emulator.load_state(state)
+        assert emulator.held_tags() == ["t"]
+        assert emulator.peek_held("t").payload == b"kept"
+
+    def test_restore_is_repeatable(self):
+        """Restoring the same snapshot twice produces identical deliveries."""
+        kernel, emulator, inboxes = build()
+        for i in range(3):
+            emulator.transmit(A, B, "udp", bytes([i]))
+        state = emulator.save_state()
+        kstate = kernel.save_state()
+
+        runs = []
+        for __ in range(2):
+            kernel.load_state(kstate)
+            emulator.load_state(state)
+            inboxes[B].clear()
+            kernel.run_until(0.5)
+            runs.append(list(inboxes[B]))
+        assert runs[0] == runs[1]
+
+
+class TestSiteTopology:
+    def test_intra_vs_inter_delay(self):
+        topo = SiteTopology({A: 0, B: 0, C: 1}, intra_delay=millis(1),
+                            inter_delay=millis(40))
+        assert topo.path(A, B).delay == millis(1)
+        assert topo.path(A, C).delay == millis(40)
+        assert topo.path(A, A).delay == 0.0
+
+    def test_unassigned_host_raises(self):
+        topo = SiteTopology({A: 0})
+        with pytest.raises(NetworkError):
+            topo.path(A, B)
+
+    def test_topology_overrides(self):
+        topo = Topology(delay=millis(2))
+        topo.set_path(A, B, millis(9))
+        assert topo.path(A, B).delay == millis(9)
+        assert topo.path(B, A).delay == millis(2)

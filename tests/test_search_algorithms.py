@@ -1,0 +1,149 @@
+"""Tests for the three attack-finding algorithms.
+
+These use trimmed action spaces and short windows so a search completes in
+seconds of real time while still exercising injection points, branching,
+early stopping, and cost accounting.
+"""
+
+import pytest
+
+from repro.attacks.space import ActionSpaceConfig
+from repro.attacks.actions import (CLUSTER_DELAY, CLUSTER_DUPLICATE,
+                                   DelayAction, DropAction, DuplicateAction)
+from repro.controller.monitor import AttackThreshold
+from repro.search.brute import BruteForceSearch
+from repro.search.greedy import GreedySearch
+from repro.search.weighted import (DEFAULT_WEIGHTS, ClusterWeights,
+                                   WeightedGreedySearch)
+from repro.systems.pbft.testbed import pbft_testbed
+
+TINY_SPACE = ActionSpaceConfig(delays=(1.0,), drop_probabilities=(0.5,),
+                               duplicate_counts=(50,), include_divert=False,
+                               include_lying=False)
+FACTORY = pbft_testbed(malicious="primary", warmup=1.0, window=2.0)
+
+
+class TestWeightedGreedy:
+    def test_finds_delay_preprepare_first(self):
+        search = WeightedGreedySearch(FACTORY, seed=1,
+                                      space_config=TINY_SPACE)
+        report = search.run(message_types=["PrePrepare"])
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.name == "Delay 1s PrePrepare"
+        assert finding.damage > 0.9
+        # early stop: only the first (highest-weight) action was evaluated
+        assert report.scenarios_evaluated == 1
+
+    def test_weight_bumped_on_success(self):
+        weights = ClusterWeights()
+        before = weights.weight(CLUSTER_DELAY)
+        search = WeightedGreedySearch(FACTORY, seed=1,
+                                      space_config=TINY_SPACE,
+                                      weights=weights)
+        search.run(message_types=["PrePrepare"])
+        assert weights.weight(CLUSTER_DELAY) > before
+
+    def test_exclude_forces_next_action(self):
+        from repro.attacks.actions import AttackScenario
+        excluded = {AttackScenario("PrePrepare", DelayAction(1.0)).to_record()}
+        search = WeightedGreedySearch(FACTORY, seed=1,
+                                      space_config=TINY_SPACE)
+        report = search.run(message_types=["PrePrepare"], exclude=excluded)
+        assert report.findings
+        assert report.findings[0].name != "Delay 1s PrePrepare"
+
+    def test_type_without_injection_reported(self):
+        search = WeightedGreedySearch(FACTORY, seed=1,
+                                      space_config=TINY_SPACE, max_wait=2.0)
+        report = search.run(message_types=["ViewChange"])
+        assert report.types_without_injection == ["ViewChange"]
+        assert report.findings == []
+
+    def test_cost_ledger_populated(self):
+        search = WeightedGreedySearch(FACTORY, seed=1,
+                                      space_config=TINY_SPACE)
+        report = search.run(message_types=["PrePrepare"])
+        assert report.total_time > 0
+        assert report.ledger.get("boot") > 0
+        assert report.findings[0].found_at <= report.total_time
+
+    def test_ordering_respects_weights(self):
+        weights = ClusterWeights({CLUSTER_DUPLICATE: 5.0,
+                                  CLUSTER_DELAY: 0.1})
+        actions = [DelayAction(1.0), DuplicateAction(50)]
+        ordered = weights.order_actions(actions)
+        assert isinstance(ordered[0], DuplicateAction)
+
+    def test_default_weights_prefer_delay(self):
+        assert DEFAULT_WEIGHTS[CLUSTER_DELAY] == max(DEFAULT_WEIGHTS.values())
+
+
+class TestGreedy:
+    def test_evaluates_all_actions_each_round(self):
+        search = GreedySearch(FACTORY, seed=1, space_config=TINY_SPACE,
+                              rounds=2, confirmations=2)
+        report = search.run(message_types=["PrePrepare"])
+        # 3 actions x 2 rounds
+        assert report.scenarios_evaluated == 6
+        assert report.injection_points == 2
+
+    def test_confirms_strongest_attack(self):
+        search = GreedySearch(FACTORY, seed=1, space_config=TINY_SPACE,
+                              rounds=2, confirmations=2)
+        report = search.run(message_types=["PrePrepare"])
+        assert len(report.findings) == 1
+        assert report.findings[0].name == "Delay 1s PrePrepare"
+        assert report.findings[0].confirmations == 2
+
+    def test_greedy_slower_than_weighted(self):
+        greedy = GreedySearch(FACTORY, seed=1, space_config=TINY_SPACE,
+                              rounds=2, confirmations=2)
+        greedy_report = greedy.run(message_types=["PrePrepare"])
+        weighted = WeightedGreedySearch(FACTORY, seed=1,
+                                        space_config=TINY_SPACE)
+        weighted_report = weighted.run(message_types=["PrePrepare"])
+        assert weighted_report.total_time < greedy_report.total_time * 0.6
+
+    def test_confirmations_validated(self):
+        with pytest.raises(ValueError):
+            GreedySearch(FACTORY, rounds=1, confirmations=2)
+
+
+class TestBruteForce:
+    def test_finds_attack_with_full_reexecution(self):
+        space = ActionSpaceConfig(delays=(1.0,), drop_probabilities=(),
+                                  duplicate_counts=(), include_divert=False,
+                                  include_lying=False)
+        search = BruteForceSearch(FACTORY, seed=1, space_config=space,
+                                  max_wait=5.0)
+        report = search.run(message_types=["PrePrepare"])
+        assert [f.name for f in report.findings] == ["Delay 1s PrePrepare"]
+        # brute force re-boots for every scenario: boot charged twice
+        # (baseline + 1 scenario)
+        assert report.ledger.get("boot") >= 16.0
+        assert report.ledger.get("snapshot_save") == 0.0
+
+    def test_wasted_execution_charged_for_absent_type(self):
+        space = ActionSpaceConfig(delays=(1.0,), drop_probabilities=(),
+                                  duplicate_counts=(), include_divert=False,
+                                  include_lying=False)
+        search = BruteForceSearch(FACTORY, seed=1, space_config=space,
+                                  max_wait=3.0)
+        report = search.run(message_types=["ViewChange"])
+        assert report.findings == []
+        assert "ViewChange" in report.types_without_injection
+        assert report.ledger.get("execution") >= 3.0
+
+
+class TestReportShape:
+    def test_report_describe(self):
+        search = WeightedGreedySearch(FACTORY, seed=1,
+                                      space_config=TINY_SPACE)
+        report = search.run(message_types=["PrePrepare"])
+        text = report.describe()
+        assert "weighted-greedy" in text
+        assert "Delay 1s PrePrepare" in text
+        assert report.finding_named("Delay 1s PrePrepare") is not None
+        assert report.finding_named("nope") is None
+        assert report.attack_names() == ["Delay 1s PrePrepare"]

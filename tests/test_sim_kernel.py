@@ -1,0 +1,185 @@
+"""Tests for the simulation kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SimulationError
+from repro.sim.events import (PRIORITY_CONTROL, PRIORITY_NETWORK,
+                              PRIORITY_TIMER)
+from repro.sim.kernel import SimKernel
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert SimKernel().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        k = SimKernel()
+        out = []
+        k.schedule(0.3, out.append, "c")
+        k.schedule(0.1, out.append, "a")
+        k.schedule(0.2, out.append, "b")
+        k.run_until(1.0)
+        assert out == ["a", "b", "c"]
+
+    def test_ties_run_in_scheduling_order(self):
+        k = SimKernel()
+        out = []
+        for tag in "abcde":
+            k.schedule(0.5, out.append, tag)
+        k.run_until(1.0)
+        assert out == list("abcde")
+
+    def test_priority_breaks_ties(self):
+        k = SimKernel()
+        out = []
+        k.schedule(0.5, out.append, "timer", priority=PRIORITY_TIMER)
+        k.schedule(0.5, out.append, "net", priority=PRIORITY_NETWORK)
+        k.run_until(1.0)
+        assert out == ["net", "timer"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimKernel().schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        k = SimKernel()
+        k.schedule(1.0, lambda: None)
+        k.run_until(2.0)
+        with pytest.raises(SimulationError):
+            k.schedule_at(1.5, lambda: None)
+
+    def test_clock_advances_to_deadline_without_events(self):
+        k = SimKernel()
+        k.run_until(5.0)
+        assert k.now == 5.0
+
+    def test_events_after_deadline_not_run(self):
+        k = SimKernel()
+        out = []
+        k.schedule(2.0, out.append, "late")
+        k.run_until(1.0)
+        assert out == []
+        assert k.now == 1.0
+        k.run_until(3.0)
+        assert out == ["late"]
+
+    def test_run_for_is_relative(self):
+        k = SimKernel()
+        k.run_for(1.5)
+        k.run_for(1.5)
+        assert k.now == 3.0
+
+    def test_events_scheduled_during_run(self):
+        k = SimKernel()
+        out = []
+
+        def chain(n):
+            out.append(n)
+            if n < 3:
+                k.schedule(0.1, chain, n + 1)
+
+        k.schedule(0.1, chain, 1)
+        k.run_until(1.0)
+        assert out == [1, 2, 3]
+
+    def test_drain_runs_everything(self):
+        k = SimKernel()
+        out = []
+        for i in range(5):
+            k.schedule(i * 0.1, out.append, i)
+        assert k.drain() == 5
+        assert out == [0, 1, 2, 3, 4]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        k = SimKernel()
+        out = []
+        handle = k.schedule(0.5, out.append, "x")
+        handle.cancel()
+        k.run_until(1.0)
+        assert out == []
+
+    def test_handle_active_flag(self):
+        k = SimKernel()
+        handle = k.schedule(0.5, lambda: None)
+        assert handle.active
+        handle.cancel()
+        assert not handle.active
+
+    def test_pending_skips_cancelled(self):
+        k = SimKernel()
+        h = k.schedule(0.5, lambda: None)
+        k.schedule(0.6, lambda: None)
+        assert k.pending() == 2
+        h.cancel()
+        assert k.pending() == 1
+
+    def test_peek_time_skips_cancelled(self):
+        k = SimKernel()
+        h = k.schedule(0.5, lambda: None)
+        k.schedule(0.7, lambda: None)
+        h.cancel()
+        assert k.peek_time() == pytest.approx(0.7)
+
+
+class TestInterrupts:
+    def test_interrupt_stops_run(self):
+        k = SimKernel()
+        k.schedule(0.2, lambda: k.interrupt("stop", payload=7))
+        k.schedule(0.5, lambda: None)
+        intr = k.run_until(1.0)
+        assert intr is not None
+        assert intr.reason == "stop"
+        assert intr.payload == 7
+        assert k.now == pytest.approx(0.2)
+
+    def test_run_resumes_after_interrupt(self):
+        k = SimKernel()
+        out = []
+        k.schedule(0.2, lambda: k.interrupt("stop"))
+        k.schedule(0.5, out.append, "later")
+        assert k.run_until(1.0).reason == "stop"
+        assert k.run_until(1.0) is None
+        assert out == ["later"]
+
+    def test_interrupt_consumed_once(self):
+        k = SimKernel()
+        k.interrupt("one")
+        assert k.take_interrupt().reason == "one"
+        assert k.take_interrupt() is None
+
+
+class TestSaveLoad:
+    def test_save_load_clock(self):
+        k = SimKernel()
+        k.schedule(1.0, lambda: None)
+        k.run_until(2.0)
+        state = k.save_state()
+        k2 = SimKernel()
+        k2.load_state(state)
+        assert k2.now == 2.0
+        assert k2.pending() == 0
+
+    def test_load_clears_queue(self):
+        k = SimKernel()
+        state = k.save_state()
+        out = []
+        k.schedule(0.5, out.append, "x")
+        k.load_state(state)
+        k.run_until(1.0)
+        assert out == []
+
+
+class TestPropertyOrdering:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_execution_times_sorted(self, delays):
+        k = SimKernel()
+        fired = []
+        for d in delays:
+            k.schedule(d, lambda d=d: fired.append(k.now))
+        k.run_until(101.0)
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,122 @@
+"""Protocol-level tests for the Steward implementation."""
+
+import pytest
+
+from repro.attacks.actions import (DelayAction, DropAction, DuplicateAction,
+                                   LyingAction)
+from repro.attacks.strategies import LyingStrategy
+from repro.common.ids import replica
+from repro.controller.harness import AttackHarness
+from repro.systems.steward.replica import StewardConfig
+from repro.systems.steward.testbed import steward_testbed
+
+
+def run_steward(malicious="leader", mtype=None, action=None, warmup=2.0,
+                window=4.0, seed=1):
+    h = AttackHarness(steward_testbed(malicious=malicious, warmup=warmup,
+                                      window=window), seed=seed)
+    inst = h.start_run(take_warm_snapshot=False)
+    if mtype:
+        inst.proxy.set_policy(mtype, action)
+    return h.measure_window(), inst
+
+
+class TestConfig:
+    def test_sizing(self):
+        cfg = StewardConfig(sites=2, site_f=1)
+        assert cfg.site_n == 4
+        assert cfg.n == 8
+        assert cfg.site_quorum == 3
+        assert cfg.accept_majority == 1
+        assert cfg.site_of(5) == 1
+        assert cfg.rep_of_site(1) == 4
+        assert cfg.site_members(1) == [4, 5, 6, 7]
+
+    def test_needs_two_sites(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError):
+            StewardConfig(sites=1)
+
+
+class TestNormalCase:
+    def test_wide_area_baseline(self):
+        sample, inst = run_steward()
+        # WAN round trips dominate: ~17-20 upd/s (paper: 19.6)
+        assert 13 < sample.throughput < 25
+        assert inst.world.crashed_nodes() == []
+
+    def test_latency_dominated_by_wan(self):
+        sample, __ = run_steward()
+        assert sample.latency_avg > 0.040
+
+    def test_remote_site_participates(self):
+        __, inst = run_steward()
+        rep = inst.world.app(replica(4))
+        assert any(e["accept_sent"] for e in rep.remote.values())
+
+
+class TestDeliveryAttacks:
+    def test_delay_preprepare(self):
+        attacked, __ = run_steward(mtype="PrePrepare",
+                                   action=DelayAction(1.0))
+        assert attacked.throughput < 2.0  # paper: 19.6 -> 0.9
+
+    def test_delay_proposal(self):
+        attacked, __ = run_steward(mtype="Proposal", action=DelayAction(1.0))
+        assert attacked.throughput < 2.0
+
+    def test_delay_accept(self):
+        attacked, __ = run_steward(malicious="remote_rep", mtype="Accept",
+                                   action=DelayAction(1.0))
+        assert attacked.throughput < 2.0
+
+    def test_drop_accept_masked_not_recovered(self):
+        attacked, inst = run_steward(malicious="remote_rep", mtype="Accept",
+                                     action=DropAction(1.0), window=8.0)
+        # fault masking: progress continues at the retransmission rate
+        # (paper: 0.4 upd/s) with no view change
+        assert 0.1 < attacked.throughput < 1.5
+        assert all(inst.world.app(replica(i)).global_view == 0
+                   for i in range(8))
+
+    def test_dup_gvc_devastates(self):
+        baseline, __ = run_steward()
+        attacked, __ = run_steward(malicious="remote_rep",
+                                   mtype="GlobalViewChange",
+                                   action=DuplicateAction(50))
+        assert attacked.throughput < baseline.throughput * 0.2
+
+    def test_dup_ccsunion_devastates(self):
+        baseline, __ = run_steward()
+        attacked, __ = run_steward(malicious="remote_backup",
+                                   mtype="CCSUnion",
+                                   action=DuplicateAction(50))
+        assert attacked.throughput < baseline.throughput * 0.4
+
+
+class TestLyingAttacks:
+    def test_lie_status_crashes_site_peers(self):
+        sample, inst = run_steward(malicious="remote_backup", mtype="Status",
+                                   action=LyingAction("nmsgs",
+                                                      LyingStrategy("min")))
+        assert sample.crashed_nodes >= 3
+
+    def test_lie_gvc_view_number_crashes(self):
+        sample, inst = run_steward(malicious="remote_rep",
+                                   mtype="GlobalViewChange",
+                                   action=LyingAction("global_view",
+                                                      LyingStrategy("max")))
+        assert sample.crashed_nodes >= 1
+        # the crashed node includes the global leader: progress dies
+        assert replica(0) in inst.world.crashed_nodes()
+
+
+class TestStateRoundTrip:
+    def test_leader_and_remote_snapshot_roundtrip(self):
+        __, inst = run_steward(window=2.0)
+        import pickle
+        for idx in (0, 4, 5):
+            app = inst.world.app(replica(idx))
+            state = app.snapshot_state()
+            app.restore_state(pickle.loads(pickle.dumps(state)))
+            assert app.snapshot_state() == state

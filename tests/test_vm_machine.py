@@ -1,0 +1,128 @@
+"""Tests for VirtualMachine and VmCluster."""
+
+import pytest
+
+from repro.common.errors import SnapshotError
+from repro.vm.machine import VirtualMachine
+from repro.vm.manager import VmCluster
+from repro.vm.memory import OsImage
+
+SMALL = OsImage(name="tiny", resident_mb=1, unique_mb=1)
+
+
+class DummyApp:
+    def __init__(self, value=0):
+        self.value = value
+        self.history = []
+
+    def snapshot_state(self):
+        return {"value": self.value, "history": list(self.history)}
+
+    def restore_state(self, state):
+        self.value = state["value"]
+        self.history = list(state["history"])
+
+
+class TestVirtualMachine:
+    def test_lifecycle(self):
+        vm = VirtualMachine("vm0", SMALL)
+        assert not vm.running
+        vm.boot(DummyApp())
+        assert vm.running and not vm.paused
+        vm.pause()
+        assert vm.paused
+        vm.resume()
+        assert not vm.paused
+        vm.shutdown()
+        assert not vm.running
+
+    def test_pause_requires_running(self):
+        vm = VirtualMachine("vm0", SMALL)
+        with pytest.raises(SnapshotError):
+            vm.pause()
+        with pytest.raises(SnapshotError):
+            vm.resume()
+
+    def test_sync_requires_paused(self):
+        vm = VirtualMachine("vm0", SMALL)
+        vm.boot(DummyApp())
+        with pytest.raises(SnapshotError):
+            vm.sync_app_pages()
+
+    def test_sync_and_restore_app(self):
+        vm = VirtualMachine("vm0", SMALL)
+        app = DummyApp(7)
+        app.history = ["a", "b"]
+        vm.boot(app)
+        vm.pause()
+        size = vm.sync_app_pages()
+        assert size > 0
+        app.value = 99
+        app.history.append("c")
+        vm.restore_app()
+        assert app.value == 7
+        assert app.history == ["a", "b"]
+
+    def test_state_digest_tracks_state(self):
+        vm = VirtualMachine("vm0", SMALL)
+        app = DummyApp(1)
+        vm.boot(app)
+        d1 = vm.state_digest()
+        app.value = 2
+        d2 = vm.state_digest()
+        assert d1 != d2
+        app.value = 1
+        assert vm.state_digest() == d1
+
+    def test_no_app_sync(self):
+        vm = VirtualMachine("vm0", SMALL)
+        vm.boot()
+        vm.pause()
+        assert vm.sync_app_pages() == 0
+
+
+class TestVmCluster:
+    def _cluster(self, n=3):
+        cluster = VmCluster([f"vm{i}" for i in range(n)], image=SMALL)
+        cluster.boot_all()
+        for i, vm in enumerate(cluster.machines()):
+            vm.app = DummyApp(i)
+        return cluster
+
+    def test_boot_pause_resume(self):
+        cluster = self._cluster()
+        assert not cluster.all_paused
+        cluster.pause_all()
+        assert cluster.all_paused
+        cluster.resume_all()
+        assert not cluster.all_paused
+
+    def test_snapshot_restore_roundtrip(self):
+        cluster = self._cluster()
+        result = cluster.save_snapshot(shared=True)
+        assert result.total_time > 0
+        cluster.resume_all()
+        for vm in cluster.machines():
+            vm.app.value += 100
+        cluster.restore_snapshot(result.snapshot)
+        assert [vm.app.value for vm in cluster.machines()] == [0, 1, 2]
+
+    def test_snapshot_pauses_if_needed(self):
+        cluster = self._cluster()
+        result = cluster.save_snapshot(shared=False)
+        assert result.pause_time > 0
+        assert cluster.all_paused
+
+    def test_shared_beats_plain(self):
+        cluster = self._cluster()
+        plain = cluster.save_snapshot(shared=False)
+        shared = cluster.save_snapshot(shared=True)
+        assert shared.snapshot.stored_bytes() < plain.snapshot.stored_bytes()
+
+    def test_unknown_vm_lookup(self):
+        cluster = self._cluster()
+        with pytest.raises(SnapshotError):
+            cluster.vm("missing")
+
+    def test_len(self):
+        assert len(self._cluster(4)) == 4

@@ -1,0 +1,118 @@
+"""Tests for guest memory and the OS image page model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import SnapshotError
+from repro.common.units import PAGE_SIZE
+from repro.vm.memory import GuestMemory, OsImage, digest_bytes, synthetic_digest
+
+
+class TestOsImage:
+    def test_default_split(self):
+        image = OsImage()
+        assert image.shared_pages == 48 * 256
+        assert image.unique_pages == 58 * 256
+
+    def test_synthetic_digest_deterministic(self):
+        assert synthetic_digest("img", 3) == synthetic_digest("img", 3)
+        assert synthetic_digest("img", 3) != synthetic_digest("img", 4)
+        assert synthetic_digest("a", 3) != synthetic_digest("b", 3)
+
+
+class TestPagePopulation:
+    def test_os_pages_resident_after_boot(self):
+        image = OsImage(resident_mb=1, unique_mb=1)
+        mem = GuestMemory("vm0", image)
+        assert mem.resident_pages() == image.shared_pages + image.unique_pages
+
+    def test_shared_pages_identical_across_vms(self):
+        image = OsImage(resident_mb=1, unique_mb=1)
+        a = GuestMemory("vm0", image)
+        b = GuestMemory("vm1", image)
+        for pfn in range(image.shared_pages):
+            assert a.page(pfn).digest == b.page(pfn).digest
+
+    def test_unique_pages_differ_across_vms(self):
+        image = OsImage(resident_mb=1, unique_mb=1)
+        a = GuestMemory("vm0", image)
+        b = GuestMemory("vm1", image)
+        pfn = image.shared_pages  # first unique page
+        assert a.page(pfn).digest != b.page(pfn).digest
+
+    def test_missing_page_raises(self):
+        mem = GuestMemory("vm0", OsImage(resident_mb=1, unique_mb=1))
+        with pytest.raises(SnapshotError):
+            mem.page(10 ** 9)
+
+
+class TestAppState:
+    def _mem(self):
+        return GuestMemory("vm0", OsImage(resident_mb=1, unique_mb=1))
+
+    def test_write_read_roundtrip(self):
+        mem = self._mem()
+        blob = b"state" * 1000
+        mem.write_app_state(blob)
+        padded = mem.read_app_state()
+        assert padded[:len(blob)] == blob
+        assert len(padded) % PAGE_SIZE == 0
+
+    def test_page_count_matches_blob(self):
+        mem = self._mem()
+        mem.write_app_state(b"x" * (PAGE_SIZE * 2 + 1))
+        assert mem.app_page_count() == 3
+
+    def test_shrinking_state_releases_pages(self):
+        mem = self._mem()
+        mem.write_app_state(b"x" * (PAGE_SIZE * 5))
+        before = mem.resident_pages()
+        mem.write_app_state(b"x" * PAGE_SIZE)
+        assert mem.resident_pages() == before - 4
+        assert mem.app_page_count() == 1
+
+    def test_rewrite_marks_dirty_only_changed_pages(self):
+        mem = self._mem()
+        blob = b"a" * PAGE_SIZE + b"b" * PAGE_SIZE
+        mem.write_app_state(blob)
+        mem.clear_dirty()
+        mem.write_app_state(b"a" * PAGE_SIZE + b"c" * PAGE_SIZE)
+        assert len(mem.dirty_pfns()) == 1
+
+    def test_empty_state(self):
+        mem = self._mem()
+        mem.write_app_state(b"")
+        assert mem.app_page_count() == 0
+        assert mem.read_app_state() == b""
+
+    @settings(max_examples=30)
+    @given(st.binary(min_size=1, max_size=3 * PAGE_SIZE))
+    def test_roundtrip_property(self, blob):
+        mem = GuestMemory("vmX", OsImage(resident_mb=1, unique_mb=1))
+        mem.write_app_state(blob)
+        assert mem.read_app_state()[:len(blob)] == blob
+
+
+class TestDirtyTracking:
+    def test_touch_marks_dirty(self):
+        mem = GuestMemory("vm0", OsImage(resident_mb=1, unique_mb=1))
+        mem.clear_dirty()
+        mem.touch(0)
+        assert 0 in mem.dirty_pfns()
+
+    def test_touch_nonresident_ignored(self):
+        mem = GuestMemory("vm0", OsImage(resident_mb=1, unique_mb=1))
+        mem.clear_dirty()
+        mem.touch(10 ** 9)
+        assert mem.dirty_pfns() == set()
+
+
+class TestExportLoad:
+    def test_export_load_roundtrip(self):
+        mem = GuestMemory("vm0", OsImage(resident_mb=1, unique_mb=1))
+        mem.write_app_state(b"hello" * 500)
+        pages, app_count = mem.export_pages()
+        other = GuestMemory("vm0", OsImage(resident_mb=1, unique_mb=1))
+        other.load_pages(pages, app_count)
+        assert other.read_app_state() == mem.read_app_state()
+        assert other.resident_pages() == mem.resident_pages()

@@ -1,0 +1,103 @@
+"""Tests for the message-format DSL parser."""
+
+import pytest
+
+from repro.common.errors import SchemaParseError
+from repro.wire.parser import format_schema, parse_schema
+
+GOOD = """
+protocol demo
+# a comment
+message Ping = 1 {
+    seq: u32          # trailing comment
+    when: f64
+}
+message Pong = 2 { seq: u32  data: varbytes<u16>  mac: bytes[16] }
+"""
+
+
+class TestParseGood:
+    def test_protocol_name(self):
+        assert parse_schema(GOOD).name == "demo"
+
+    def test_message_names_and_ids(self):
+        schema = parse_schema(GOOD)
+        assert schema.message_names() == ["Ping", "Pong"]
+        assert schema.message_named("Pong").type_id == 2
+
+    def test_field_kinds(self):
+        pong = parse_schema(GOOD).message_named("Pong")
+        seq, data, mac = pong.fields
+        assert seq.kind == "scalar" and seq.scalar.name == "u32"
+        assert data.kind == "varbytes" and data.len_type.name == "u16"
+        assert mac.kind == "bytes" and mac.fixed_len == 16
+
+    def test_protocol_header_optional(self):
+        schema = parse_schema("message M = 1 { x: u8 }")
+        assert schema.name == "protocol"
+        assert schema.message_names() == ["M"]
+
+    def test_single_line_message(self):
+        schema = parse_schema("message M = 3 { a: i64  b: bool }")
+        assert [f.name for f in schema.message_named("M").fields] == ["a", "b"]
+
+    def test_empty_message_body(self):
+        schema = parse_schema("message Empty = 1 { }")
+        assert schema.message_named("Empty").fields == ()
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text", [
+        "",
+        "protocol x",
+        "message = 1 { a: u8 }",
+        "message M 1 { a: u8 }",
+        "message M = { a: u8 }",
+        "message M = 1 { a u8 }",
+        "message M = 1 { a: u8 ",
+        "message M = 1 { a: nosuchtype }",
+        "message M = 1 { a: u8  a: u16 }",
+        "message M = -1 { a: u8 }",
+        "message M = 1 { a: bytes[0] }",
+    ])
+    def test_rejects(self, text):
+        with pytest.raises(SchemaParseError):
+            parse_schema(text)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(Exception):
+            parse_schema("message A = 1 { x: u8 }\nmessage B = 1 { y: u8 }")
+
+    def test_error_carries_line_number(self):
+        text = "protocol p\n\nmessage M = 1 {\n  a: u8\n  b }\n"
+        with pytest.raises(SchemaParseError) as excinfo:
+            parse_schema(text)
+        assert "line 5" in str(excinfo.value)
+
+    def test_unexpected_character(self):
+        with pytest.raises(SchemaParseError):
+            parse_schema("message M = 1 { a: u8 @ }")
+
+
+class TestFormatRoundTrip:
+    def test_format_then_parse_preserves_schema(self):
+        original = parse_schema(GOOD)
+        reparsed = parse_schema(format_schema(original))
+        assert reparsed.name == original.name
+        assert reparsed.message_names() == original.message_names()
+        for name in original.message_names():
+            a = original.message_named(name)
+            b = reparsed.message_named(name)
+            assert a.type_id == b.type_id
+            assert [(f.name, f.type_label()) for f in a.fields] == \
+                   [(f.name, f.type_label()) for f in b.fields]
+
+    def test_real_system_schemas_roundtrip(self):
+        from repro.systems.pbft.schema import PBFT_SCHEMA
+        from repro.systems.prime.schema import PRIME_SCHEMA
+        from repro.systems.steward.schema import STEWARD_SCHEMA
+        from repro.systems.zyzzyva.schema import ZYZZYVA_SCHEMA
+        for schema in (PBFT_SCHEMA, PRIME_SCHEMA, STEWARD_SCHEMA,
+                       ZYZZYVA_SCHEMA):
+            reparsed = parse_schema(format_schema(schema))
+            assert reparsed.message_names() == schema.message_names()

@@ -1,0 +1,131 @@
+"""Tests for primitive wire field types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import WireFormatError
+from repro.wire.types import (BOOL, F32, F64, I8, I16, I32, I64, SCALAR_TYPES,
+                              U8, U16, U32, U64, scalar_type)
+
+INT_TYPES = [I8, U8, I16, U16, I32, U32, I64, U64]
+
+
+class TestBounds:
+    def test_i8(self):
+        assert (I8.min_value, I8.max_value) == (-128, 127)
+
+    def test_u8(self):
+        assert (U8.min_value, U8.max_value) == (0, 255)
+
+    def test_i32(self):
+        assert (I32.min_value, I32.max_value) == (-2**31, 2**31 - 1)
+
+    def test_u64(self):
+        assert (U64.min_value, U64.max_value) == (0, 2**64 - 1)
+
+    def test_sizes(self):
+        assert [t.size for t in INT_TYPES] == [1, 1, 2, 2, 4, 4, 8, 8]
+        assert F32.size == 4 and F64.size == 8 and BOOL.size == 1
+
+
+class TestLookup:
+    def test_all_names_resolve(self):
+        for name in SCALAR_TYPES:
+            assert scalar_type(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(WireFormatError):
+            scalar_type("u128")
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("t", INT_TYPES, ids=lambda t: t.name)
+    def test_extremes_roundtrip(self, t):
+        for value in (t.min_value, 0, t.max_value):
+            packed = t.pack(value)
+            assert len(packed) == t.size
+            assert t.unpack(packed, 0) == value
+
+    def test_bool_roundtrip(self):
+        assert BOOL.unpack(BOOL.pack(True), 0) is True
+        assert BOOL.unpack(BOOL.pack(False), 0) is False
+
+    def test_float_roundtrip(self):
+        assert F64.unpack(F64.pack(3.14159), 0) == pytest.approx(3.14159)
+
+    def test_pack_out_of_range_raises(self):
+        with pytest.raises(WireFormatError):
+            U8.pack(256)
+        with pytest.raises(WireFormatError):
+            I8.pack(-129)
+
+    def test_f32_overflow_raises(self):
+        with pytest.raises(WireFormatError):
+            F32.pack(1e308)
+
+    def test_unpack_truncated_raises(self):
+        with pytest.raises(WireFormatError):
+            U32.unpack(b"\x01\x02", 0)
+
+    def test_unpack_at_offset(self):
+        data = b"\xff" + U16.pack(513)
+        assert U16.unpack(data, 1) == 513
+
+
+class TestWrap:
+    def test_signed_overflow_wraps(self):
+        assert I8.wrap(128) == -128
+        assert I8.wrap(-129) == 127
+
+    def test_unsigned_wraps_modularly(self):
+        assert U8.wrap(256) == 0
+        assert U8.wrap(-1) == 255
+
+    def test_u32_wrap_large_negative(self):
+        assert U32.wrap(-(2 ** 40)) == 0
+
+    def test_float_saturates(self):
+        assert F32.wrap(1e308) == F32.max_value
+        assert F32.wrap(-1e308) == F32.min_value
+
+    def test_bool_wrap(self):
+        assert BOOL.wrap(17) is True
+        assert BOOL.wrap(0) is False
+
+    @pytest.mark.parametrize("t", INT_TYPES, ids=lambda t: t.name)
+    @given(value=st.integers(min_value=-2**80, max_value=2**80))
+    def test_wrap_always_in_range(self, t, value):
+        wrapped = t.wrap(value)
+        assert t.min_value <= wrapped <= t.max_value
+        t.pack(wrapped)  # must always be encodable
+
+
+class TestClampAndSpanning:
+    def test_clamp(self):
+        assert U8.clamp(300) == 255
+        assert I8.clamp(-300) == -128
+        assert I32.clamp(5) == 5
+
+    @pytest.mark.parametrize("t", INT_TYPES + [F32, F64, BOOL],
+                             ids=lambda t: t.name)
+    def test_spanning_values_in_range_and_unique(self, t):
+        span = t.spanning_values()
+        assert len(span) == len(set(span))
+        for v in span:
+            assert t.contains(v) or not t.is_integer
+            t.pack(t.wrap(v))
+
+    def test_spanning_includes_extremes(self):
+        span = I32.spanning_values()
+        assert I32.min_value in span
+        assert I32.max_value in span
+        assert -1 in span and 0 in span
+
+    def test_unsigned_spanning_excludes_negatives(self):
+        assert all(v >= 0 for v in U16.spanning_values())
+
+    def test_contains(self):
+        assert I8.contains(-128)
+        assert not I8.contains(128)
+        assert not U8.contains(-1)
+        assert F64.contains(1.5)

@@ -1,0 +1,100 @@
+"""Protocol-level tests for the Zyzzyva implementation."""
+
+import pytest
+
+from repro.attacks.actions import DelayAction, DropAction, LyingAction
+from repro.attacks.strategies import LyingStrategy
+from repro.common.ids import client, replica
+from repro.controller.harness import AttackHarness
+from repro.systems.zyzzyva.testbed import zyzzyva_testbed
+
+
+def run_zyzzyva(malicious="backup", mtype=None, action=None, warmup=1.0,
+                window=2.0, seed=1):
+    h = AttackHarness(zyzzyva_testbed(malicious=malicious, warmup=warmup,
+                                      window=window), seed=seed)
+    inst = h.start_run(take_warm_snapshot=False)
+    if mtype:
+        inst.proxy.set_policy(mtype, action)
+    return h.measure_window(), inst
+
+
+class TestNormalCase:
+    def test_fast_path_dominates(self):
+        sample, inst = run_zyzzyva()
+        cl = inst.world.app(client(0))
+        assert cl.fast_completions > 0
+        assert cl.slow_completions == 0
+        assert sample.throughput > 150
+
+    def test_speculative_latency(self):
+        sample, __ = run_zyzzyva()
+        assert 0.003 < sample.latency_avg < 0.007
+
+    def test_history_hashes_agree(self):
+        __, inst = run_zyzzyva()
+        histories = {inst.world.app(replica(i)).history for i in range(4)}
+        # replicas within one spec-execution of each other share a prefix;
+        # at quiesce points they converge to at most 2 distinct values
+        assert len(histories) <= 2
+
+    def test_no_crashes_benign(self):
+        __, inst = run_zyzzyva()
+        assert inst.world.crashed_nodes() == []
+
+
+class TestDropSpecResponse:
+    def test_slow_path_engages(self):
+        __, inst = run_zyzzyva(mtype="SpecResponse", action=DropAction(1.0))
+        cl = inst.world.app(client(0))
+        assert cl.slow_completions > 0
+
+    def test_latency_increases(self):
+        baseline, __ = run_zyzzyva()
+        attacked, __ = run_zyzzyva(mtype="SpecResponse",
+                                   action=DropAction(1.0))
+        assert attacked.latency_avg > baseline.latency_avg * 1.3
+        # speculation is lost, but the system still completes updates
+        assert attacked.throughput > baseline.throughput * 0.3
+
+
+class TestLyingAttacks:
+    def test_lie_order_request_size_crashes(self):
+        sample, inst = run_zyzzyva(malicious="primary", mtype="OrderRequest",
+                                   action=LyingAction("msg_size",
+                                                      LyingStrategy("min")))
+        assert sample.crashed_nodes == 3
+
+    def test_lie_commit_cc_size_crashes(self):
+        # the *client* sends Commit; to attack it the proxy must control a
+        # replica relaying nothing — instead verify the flaw directly
+        from repro.common.errors import SegmentationFault
+        from repro.systems.common.config import BftConfig
+        from repro.systems.zyzzyva.replica import ZyzzyvaReplica
+        replica_app = ZyzzyvaReplica(1, BftConfig())
+        with pytest.raises(SegmentationFault):
+            replica_app.unchecked_alloc(-5, "commit certificate entries")
+
+    def test_delay_order_request_degrades(self):
+        baseline, __ = run_zyzzyva()
+        attacked, __ = run_zyzzyva(malicious="primary", mtype="OrderRequest",
+                                   action=DelayAction(1.0), window=4.0)
+        assert attacked.throughput < baseline.throughput * 0.05
+
+
+class TestStateRoundTrip:
+    def test_replica_snapshot_roundtrip(self):
+        __, inst = run_zyzzyva(window=1.0)
+        app = inst.world.app(replica(2))
+        state = app.snapshot_state()
+        import pickle
+        app.restore_state(pickle.loads(pickle.dumps(state)))
+        assert app.snapshot_state() == state
+
+    def test_client_snapshot_roundtrip(self):
+        __, inst = run_zyzzyva(window=1.0)
+        cl = inst.world.app(client(0))
+        state = cl.snapshot_state()
+        import pickle
+        cl.restore_state(pickle.loads(pickle.dumps(state)))
+        assert cl.snapshot_state() == state
