@@ -9,11 +9,13 @@ rendered for humans as text/markdown tables.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 from repro.attacks.actions import AttackScenario
 from repro.controller.costs import CostLedger
 from repro.controller.monitor import PerfSample
+from repro.controller.supervisor import (QuarantinedScenario,
+                                         SupervisorEvent, SupervisorStats)
 from repro.search.results import AttackFinding, SearchReport
 
 
@@ -48,20 +50,69 @@ def _finding_to_dict(finding: AttackFinding) -> Dict[str, Any]:
     }
 
 
-def _record_to_jsonable(record: Any) -> Any:
+def record_to_jsonable(record: Any) -> Any:
+    """Encode a scenario record (nested tuples/bytes) as plain JSON."""
     if isinstance(record, tuple):
-        return {"__tuple__": [_record_to_jsonable(x) for x in record]}
+        return {"__tuple__": [record_to_jsonable(x) for x in record]}
     if isinstance(record, bytes):
         return {"__bytes__": record.hex()}
     return record
 
 
-def _record_from_jsonable(data: Any) -> Any:
+def record_from_jsonable(data: Any) -> Any:
+    """Inverse of :func:`record_to_jsonable`."""
     if isinstance(data, dict) and "__tuple__" in data:
-        return tuple(_record_from_jsonable(x) for x in data["__tuple__"])
+        return tuple(record_from_jsonable(x) for x in data["__tuple__"])
     if isinstance(data, dict) and "__bytes__" in data:
         return bytes.fromhex(data["__bytes__"])
     return data
+
+
+# Backwards-compatible aliases (pre-supervision internal names).
+_record_to_jsonable = record_to_jsonable
+_record_from_jsonable = record_from_jsonable
+
+
+def _quarantine_to_dict(q: QuarantinedScenario) -> Dict[str, Any]:
+    return {
+        "message_type": q.message_type,
+        "action_record": (None if q.action_record is None
+                          else record_to_jsonable(q.action_record)),
+        "reason": q.reason,
+        "attempts": q.attempts,
+        "verdict": q.verdict,
+    }
+
+
+def _quarantine_from_dict(data: Dict[str, Any]) -> QuarantinedScenario:
+    record = data["action_record"]
+    return QuarantinedScenario(
+        data["message_type"],
+        None if record is None else record_from_jsonable(record),
+        data["reason"], data["attempts"], data.get("verdict", "inconclusive"))
+
+
+def _supervisor_to_dict(stats: SupervisorStats) -> Dict[str, Any]:
+    return {
+        "retries": stats.retries,
+        "rebuilds": stats.rebuilds,
+        "quarantines": stats.quarantines,
+        "watchdog_trips": stats.watchdog_trips,
+        "events": [{"kind": e.kind, "op": e.op, "scenario": e.scenario,
+                    "error": e.error, "attempt": e.attempt, "at": e.at}
+                   for e in stats.events],
+    }
+
+
+def _supervisor_from_dict(data: Dict[str, Any]) -> SupervisorStats:
+    return SupervisorStats(
+        retries=data.get("retries", 0),
+        rebuilds=data.get("rebuilds", 0),
+        quarantines=data.get("quarantines", 0),
+        watchdog_trips=data.get("watchdog_trips", 0),
+        events=[SupervisorEvent(e["kind"], e["op"], e.get("scenario"),
+                                e["error"], e["attempt"], e["at"])
+                for e in data.get("events", [])])
 
 
 def _finding_from_dict(data: Dict[str, Any]) -> AttackFinding:
@@ -88,6 +139,8 @@ def report_to_dict(report: SearchReport) -> Dict[str, Any]:
         "scenarios_evaluated": report.scenarios_evaluated,
         "injection_points": report.injection_points,
         "types_without_injection": list(report.types_without_injection),
+        "quarantined": [_quarantine_to_dict(q) for q in report.quarantined],
+        "supervisor": _supervisor_to_dict(report.supervisor),
     }
 
 
@@ -101,6 +154,10 @@ def report_from_dict(data: Dict[str, Any]) -> SearchReport:
         scenarios_evaluated=data["scenarios_evaluated"],
         injection_points=data["injection_points"],
         types_without_injection=list(data["types_without_injection"]),
+        # .get: reports written before the supervision layer lack these.
+        quarantined=[_quarantine_from_dict(q)
+                     for q in data.get("quarantined", [])],
+        supervisor=_supervisor_from_dict(data.get("supervisor", {})),
     )
     return report
 
@@ -148,4 +205,15 @@ def render_markdown(report: SearchReport) -> str:
                 f"| {f.crashes} | {f.found_at:.1f} |")
     else:
         lines.append("_No attacks found._")
+    stats = report.supervisor
+    if stats.total_events or report.quarantined:
+        lines.append("")
+        lines.append("## Supervision")
+        lines.append("")
+        lines.append(f"* retries: {stats.retries}")
+        lines.append(f"* testbed rebuilds: {stats.rebuilds}")
+        lines.append(f"* watchdog trips: {stats.watchdog_trips}")
+        lines.append(f"* quarantined scenarios: {len(report.quarantined)}")
+        for q in report.quarantined:
+            lines.append(f"  * {q.describe()}")
     return "\n".join(lines)

@@ -9,8 +9,8 @@ types the execution sends.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.netem.emulator import NetworkEmulator
 from repro.netem.packets import MessageEnvelope

@@ -17,7 +17,7 @@ compared, and replayed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.common.errors import ProxyError
 from repro.common.ids import NodeId

@@ -22,12 +22,11 @@ configuration-file mechanism.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
-from repro.common.errors import ProxyError
 from repro.common.ids import NodeId
 from repro.common.rng import RandomStream
-from repro.netem.emulator import Delivery, NetworkEmulator, Verdict
+from repro.netem.emulator import NetworkEmulator, Verdict
 from repro.netem.packets import MessageEnvelope
 from repro.wire.codec import ProtocolCodec
 from repro.attacks.actions import ActionContext, MaliciousAction
@@ -101,6 +100,18 @@ class MaliciousProxy:
     def disarm(self) -> None:
         self._armed_type = None
         self._holding_type = None
+
+    def abort_injection(self) -> None:
+        """Error cleanup: disarm and drop any parked injection messages.
+
+        Used by the harness's exception paths so a fault mid-branch never
+        leaves the proxy armed or a held message stranded in the emulator.
+        Safe to call when nothing is armed or held.
+        """
+        self._armed_type = None
+        self._holding_type = None
+        for tag in self._injection_tags():
+            self.emulator.discard_held(tag)
 
     @property
     def armed_type(self) -> Optional[str]:

@@ -9,7 +9,7 @@ strategy) pair.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.wire.schema import MessageSpec, ProtocolSchema

@@ -28,7 +28,17 @@ from repro.attacks.strategies import LyingStrategy
 from repro.common.errors import TurretError
 from repro.controller.harness import AttackHarness
 from repro.controller.monitor import AttackThreshold
+from repro.controller.supervisor import FaultPlan
 from repro.systems.registry import get_system, registry, system_names
+
+#: conventional exit status for SIGINT (128 + 2)
+EXIT_INTERRUPTED = 130
+
+
+def _fault_plan(args) -> Optional[FaultPlan]:
+    if getattr(args, "inject_faults", None) is None:
+        return None
+    return FaultPlan.from_spec(args.inject_faults, seed=args.seed)
 
 
 def parse_action(spec: str) -> MaliciousAction:
@@ -146,7 +156,12 @@ def cmd_search(args) -> int:
         include_lying=not args.no_lying)
     search = cls(factory, seed=args.seed,
                  threshold=AttackThreshold(delta=args.delta),
-                 space_config=space, max_wait=args.max_wait)
+                 space_config=space, max_wait=args.max_wait,
+                 shared_pages=not args.no_shared_pages,
+                 delta_snapshots=args.delta_snapshots,
+                 fault_plan=_fault_plan(args),
+                 watchdog_limit=args.watchdog,
+                 max_retries=args.max_retries)
 
     types: Optional[List[str]] = None
     if args.types:
@@ -159,7 +174,14 @@ def cmd_search(args) -> int:
         from repro.analysis.reports import excluded_scenarios, load_report
         exclude = excluded_scenarios(load_report(args.exclude_from))
 
-    report = search.run(message_types=types, exclude=exclude)
+    try:
+        report = search.run(message_types=types, exclude=exclude)
+    except KeyboardInterrupt:
+        report = search.report
+        print("\ninterrupted — partial report:")
+        if report is not None:
+            print(report.describe())
+        return EXIT_INTERRUPTED
     print(report.describe())
     if args.json:
         from repro.analysis.reports import save_report
@@ -187,13 +209,28 @@ def cmd_hunt(args) -> int:
         types = [t.strip() for t in args.types.split(",") if t.strip()]
     elif entry.active_types:
         types = list(entry.active_types)
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint PATH")
     result = hunt(factory, seed=args.seed, message_types=types,
                   threshold=AttackThreshold(delta=args.delta),
                   space_config=space, max_passes=args.passes,
-                  max_wait=args.max_wait)
+                  max_wait=args.max_wait,
+                  shared_pages=not args.no_shared_pages,
+                  delta_snapshots=args.delta_snapshots,
+                  fault_plan=_fault_plan(args),
+                  watchdog_limit=args.watchdog,
+                  max_retries=args.max_retries,
+                  checkpoint_path=args.checkpoint,
+                  resume=args.resume)
     print(result.describe())
     for finding in result.findings:
         print("  " + finding.describe())
+    if result.interrupted:
+        if args.checkpoint:
+            print(f"checkpoint written to {args.checkpoint}; "
+                  f"resume with: repro hunt {args.system} "
+                  f"--checkpoint {args.checkpoint} --resume")
+        return EXIT_INTERRUPTED
     return 0 if result.findings or args.allow_empty else 1
 
 
@@ -235,8 +272,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="drop[:p] | delay:s | dup:n | divert | "
                         "lie:field:strategy[:operand]")
 
+    def supervision(p):
+        p.add_argument("--no-shared-pages", action="store_true",
+                       help="disable page-sharing-aware snapshots")
+        p.add_argument("--watchdog", type=int, default=None, metavar="N",
+                       help="cap events per run window; a tripped branch is "
+                            "retried then quarantined instead of hanging")
+        p.add_argument("--max-retries", type=int, default=2,
+                       help="transient-fault retries before a scenario is "
+                            "quarantined as inconclusive")
+        p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help="deterministic platform fault plan, e.g. "
+                            "'restore=0.1,save=0.05,boot=0.02,max=5' "
+                            "(for exercising the supervision layer)")
+
     p = sub.add_parser("search", help="run an attack-finding algorithm")
     common(p)
+    supervision(p)
     p.add_argument("--algorithm", choices=("weighted", "greedy", "brute"),
                    default="weighted")
     p.add_argument("--types", default=None,
@@ -259,12 +311,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("hunt", help="repeat weighted-greedy passes until "
                                     "no new attacks are found")
     common(p)
+    supervision(p)
     p.add_argument("--types", default=None)
     p.add_argument("--passes", type=int, default=5)
     p.add_argument("--max-wait", type=float, default=15.0)
     p.add_argument("--fast", action="store_true")
     p.add_argument("--no-lying", action="store_true")
     p.add_argument("--allow-empty", action="store_true")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="persist hunt state to PATH after every pass")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted hunt from --checkpoint")
     return parser
 
 

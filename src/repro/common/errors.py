@@ -23,6 +23,22 @@ class SimulationError(TurretError):
     """Internal inconsistency detected by the simulation kernel."""
 
 
+class WatchdogTimeout(SimulationError):
+    """The kernel's event watchdog tripped: one run window executed more
+    events than its configured cap.
+
+    Raised (not merely logged) so that a livelocked branch — e.g. an event
+    storm triggered by a large duplication action — unwinds to the
+    supervision layer, which quarantines the offending scenario instead of
+    letting it hang the whole search pass.
+    """
+
+    def __init__(self, message: str, events: int = 0, limit: int = 0) -> None:
+        self.events = events
+        self.limit = limit
+        super().__init__(message)
+
+
 class SnapshotError(TurretError):
     """A snapshot could not be taken, stored, or restored."""
 

@@ -31,7 +31,18 @@ class RandomStream:
 
     def __init__(self, root_seed: int, name: str) -> None:
         self.name = name
+        self.root_seed = root_seed
         self._rng = random.Random(derive_seed(root_seed, name))
+
+    def fork(self, label: str) -> "RandomStream":
+        """Derive an independent child stream.
+
+        The child is a pure function of ``(root_seed, name, label)``, so
+        components that need private randomness (e.g. a platform fault-
+        injection plan) can fork without perturbing the parent stream's
+        sequence.
+        """
+        return RandomStream(self.root_seed, f"{self.name}/{label}")
 
     def random(self) -> float:
         return self._rng.random()

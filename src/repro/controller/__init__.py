@@ -2,17 +2,24 @@
 
 from repro.controller.branching import (DistributedSnapshotter,
                                         NetemTimingModel, WorldSnapshot)
-from repro.controller.costs import (BOOT, CATEGORIES, EXECUTION,
-                                    SNAPSHOT_RESTORE, SNAPSHOT_SAVE,
+from repro.controller.costs import (BOOT, CATEGORIES, EXECUTION, REBUILD,
+                                    RETRY, SNAPSHOT_RESTORE, SNAPSHOT_SAVE,
                                     CostLedger)
 from repro.controller.harness import (AttackHarness, InjectionPoint,
                                       TestbedFactory, TestbedInstance)
 from repro.controller.monitor import (AttackThreshold, PerfSample,
                                       PerformanceMonitor)
+from repro.controller.supervisor import (FaultPlan, QuarantinedScenario,
+                                         ScenarioQuarantined,
+                                         ScenarioSupervisor, SupervisorEvent,
+                                         SupervisorStats)
 
 __all__ = [
     "DistributedSnapshotter", "NetemTimingModel", "WorldSnapshot", "BOOT",
-    "CATEGORIES", "EXECUTION", "SNAPSHOT_RESTORE", "SNAPSHOT_SAVE",
-    "CostLedger", "AttackHarness", "InjectionPoint", "TestbedFactory",
-    "TestbedInstance", "AttackThreshold", "PerfSample", "PerformanceMonitor",
+    "CATEGORIES", "EXECUTION", "RETRY", "REBUILD", "SNAPSHOT_RESTORE",
+    "SNAPSHOT_SAVE", "CostLedger", "AttackHarness", "InjectionPoint",
+    "TestbedFactory", "TestbedInstance", "AttackThreshold", "PerfSample",
+    "PerformanceMonitor", "FaultPlan", "QuarantinedScenario",
+    "ScenarioQuarantined", "ScenarioSupervisor", "SupervisorEvent",
+    "SupervisorStats",
 ]

@@ -22,8 +22,10 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.errors import SnapshotError
+from repro.controller.supervisor import (OP_SNAPSHOT_RESTORE,
+                                         OP_SNAPSHOT_SAVE, FaultPlan)
 from repro.runtime.world import World
-from repro.vm.snapshots import ClusterSnapshot, DeltaClusterSnapshot
+from repro.vm.snapshots import ClusterSnapshot
 
 
 @dataclass(frozen=True)
@@ -61,13 +63,15 @@ class DistributedSnapshotter:
 
     def __init__(self, world: World, shared_pages: bool = True,
                  max_bandwidth: bool = True,
-                 netem_timing: Optional[NetemTimingModel] = None) -> None:
+                 netem_timing: Optional[NetemTimingModel] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         if not world.booted:
             raise SnapshotError("world must be booted before snapshotting")
         self.world = world
         self.shared_pages = shared_pages
         self.max_bandwidth = max_bandwidth
         self.netem_timing = netem_timing or NetemTimingModel()
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------ save
 
@@ -80,6 +84,10 @@ class DistributedSnapshotter:
         snapshots are taken after one warm snapshot.
         """
         world = self.world
+        # Injected faults fire before any component is touched, so a failed
+        # save leaves the world exactly as it was — retryable by design.
+        if self.fault_plan is not None:
+            self.fault_plan.check(OP_SNAPSHOT_SAVE)
         # 1. freeze the emulator: virtual time stops, nothing reaches a VM.
         world.emulator.freeze()
         # 2. pause every VM: no new packets are generated.
@@ -120,6 +128,8 @@ class DistributedSnapshotter:
 
     def restore(self, snapshot: WorldSnapshot) -> float:
         """Rewind the world to ``snapshot``; returns the modelled cost."""
+        if self.fault_plan is not None:
+            self.fault_plan.check(OP_SNAPSHOT_RESTORE)
         world = self.world
         # Reverse order of the save: emulator (and host clock) state first,
         # then the VMs, then resume VMs, then resume the emulator.

@@ -17,8 +17,14 @@ BOOT = "boot"
 EXECUTION = "execution"
 SNAPSHOT_SAVE = "snapshot_save"
 SNAPSHOT_RESTORE = "snapshot_restore"
+#: overhead of classifying a platform fault and tearing the attempt down
+RETRY = "retry"
+#: platform time spent rebuilding a testbed after a persistent fault
+#: (boot + warmup + warm snapshot, reattributed from their usual categories)
+REBUILD = "rebuild"
 
-CATEGORIES = (BOOT, EXECUTION, SNAPSHOT_SAVE, SNAPSHOT_RESTORE)
+CATEGORIES = (BOOT, EXECUTION, SNAPSHOT_SAVE, SNAPSHOT_RESTORE,
+              RETRY, REBUILD)
 
 
 @dataclass
@@ -50,5 +56,9 @@ class CostLedger:
             self.charge(category, seconds)
 
     def describe(self) -> str:
-        parts = [f"{c}={self.by_category.get(c, 0.0):.1f}s" for c in CATEGORIES]
+        # Supervision categories only appear once something was charged to
+        # them, so fault-free runs keep the familiar four-column output.
+        parts = [f"{c}={self.by_category.get(c, 0.0):.1f}s" for c in CATEGORIES
+                 if c not in (RETRY, REBUILD)
+                 or self.by_category.get(c, 0.0) > 0]
         return f"total={self.total():.1f}s ({', '.join(parts)})"

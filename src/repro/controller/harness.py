@@ -14,8 +14,8 @@ proxy, schema, warmup duration, and observation window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro.attacks.actions import MaliciousAction
 from repro.attacks.proxy import INJECTION_POINT, MaliciousProxy
@@ -26,6 +26,7 @@ from repro.controller.costs import (BOOT, EXECUTION, SNAPSHOT_RESTORE,
                                     SNAPSHOT_SAVE, CostLedger)
 from repro.controller.monitor import (AttackThreshold, PerfSample,
                                       PerformanceMonitor)
+from repro.controller.supervisor import OP_BOOT, OP_PROXY, FaultPlan
 from repro.runtime.world import World
 from repro.wire.schema import ProtocolSchema
 
@@ -74,7 +75,9 @@ class AttackHarness:
                  threshold: Optional[AttackThreshold] = None,
                  shared_pages: bool = True,
                  delta_snapshots: bool = False,
-                 ledger: Optional[CostLedger] = None) -> None:
+                 ledger: Optional[CostLedger] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 watchdog_limit: Optional[int] = None) -> None:
         self.factory = factory
         self.seed = seed
         self.threshold = threshold or AttackThreshold()
@@ -83,6 +86,10 @@ class AttackHarness:
         #: warm snapshot (cheaper saves; see SnapshotManager.save_delta)
         self.delta_snapshots = delta_snapshots
         self.ledger = ledger or CostLedger()
+        #: deterministic platform fault injection (None: no faults)
+        self.fault_plan = fault_plan
+        #: events-per-window cap installed on each instance's kernel
+        self.watchdog_limit = watchdog_limit
         self.instance: Optional[TestbedInstance] = None
         self.snapshotter: Optional[DistributedSnapshotter] = None
         self.monitor: Optional[PerformanceMonitor] = None
@@ -92,12 +99,17 @@ class AttackHarness:
 
     def start_run(self, take_warm_snapshot: bool = True) -> TestbedInstance:
         """Build, boot, and warm up a fresh instance of the testbed."""
+        if self.fault_plan is not None:
+            self.fault_plan.check(OP_BOOT)
         self.instance = self.factory(self.seed)
         world = self.instance.world
+        if self.watchdog_limit is not None:
+            world.set_watchdog(self.watchdog_limit)
         boot_time = world.boot()
         self.ledger.charge(BOOT, boot_time)
         self.snapshotter = DistributedSnapshotter(
-            world, shared_pages=self.shared_pages)
+            world, shared_pages=self.shared_pages,
+            fault_plan=self.fault_plan)
         self.monitor = PerformanceMonitor(world.metrics)
         self._run(self.instance.warmup)
         if take_warm_snapshot:
@@ -118,11 +130,16 @@ class AttackHarness:
         return self._require_instance().proxy
 
     def _run(self, duration: float):
-        """Run the world for ``duration``, charging execution time."""
+        """Run the world for ``duration``, charging execution time.
+
+        The charge lands even when the run raises (e.g. a watchdog trip):
+        the platform spent that time whether or not the window completed.
+        """
         start = self.world.kernel.now
-        interrupt = self.world.run_for(duration)
-        self.ledger.charge(EXECUTION, self.world.kernel.now - start)
-        return interrupt
+        try:
+            return self.world.run_for(duration)
+        finally:
+            self.ledger.charge(EXECUTION, self.world.kernel.now - start)
 
     # -------------------------------------------------------------- snapshot
 
@@ -153,20 +170,31 @@ class AttackHarness:
         instance = self._require_instance()
         wait = max_wait if max_wait is not None else self.DEFAULT_MAX_WAIT
         deadline = self.world.kernel.now + wait
+        if self.fault_plan is not None:
+            self.fault_plan.check(OP_PROXY)
         instance.proxy.arm(message_type)
-        while True:
-            start = self.world.kernel.now
-            interrupt = self.world.run_until(deadline)
-            self.ledger.charge(EXECUTION, self.world.kernel.now - start)
-            if interrupt is None:
-                instance.proxy.disarm()
-                return None
-            if interrupt.reason != INJECTION_POINT:
-                continue
-            info = interrupt.payload
-            snapshot = self.take_snapshot()
-            return InjectionPoint(info["message_type"], info["time"],
-                                  info["src"], info["dst"], snapshot)
+        try:
+            while True:
+                start = self.world.kernel.now
+                try:
+                    interrupt = self.world.run_until(deadline)
+                finally:
+                    self.ledger.charge(EXECUTION,
+                                       self.world.kernel.now - start)
+                if interrupt is None:
+                    instance.proxy.disarm()
+                    return None
+                if interrupt.reason != INJECTION_POINT:
+                    continue
+                info = interrupt.payload
+                snapshot = self.take_snapshot()
+                return InjectionPoint(info["message_type"], info["time"],
+                                      info["src"], info["dst"], snapshot)
+        except BaseException:
+            # An exception mid-seek (watchdog trip, snapshot fault...) must
+            # not leave the proxy armed or the injection message stranded.
+            instance.proxy.abort_injection()
+            raise
 
     # ----------------------------------------------------------- branching
 
@@ -178,14 +206,20 @@ class AttackHarness:
         released unmodified and no policy is installed).
         """
         instance = self._require_instance()
-        self.restore(injection.snapshot)
-        instance.proxy.disarm()
-        instance.proxy.clear_policy()
-        if action is not None:
-            instance.proxy.set_policy(injection.message_type, action)
-        instance.proxy.release_held(action)
-        self._run(instance.window)
-        instance.proxy.clear_policy()
+        try:
+            self.restore(injection.snapshot)
+            instance.proxy.disarm()
+            instance.proxy.clear_policy()
+            if action is not None:
+                instance.proxy.set_policy(injection.message_type, action)
+            instance.proxy.release_held(action)
+            self._run(instance.window)
+        finally:
+            # Whatever happened — clean restore-and-measure or a platform
+            # fault anywhere in the branch — the proxy ends disarmed, with
+            # no policy installed and no held message stranded.
+            instance.proxy.clear_policy()
+            instance.proxy.abort_injection()
         crashed = len(self.world.crashed_nodes())
         return self.monitor.sample(injection.time,
                                    injection.time + instance.window,

@@ -11,10 +11,8 @@ rule; node crashes caused by an action are always classified as attacks
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
-from repro.common.ids import NodeId
-from repro.metrics.collector import UPDATE_DONE, MetricsCollector
+from repro.metrics.collector import MetricsCollector
 
 
 @dataclass(frozen=True)

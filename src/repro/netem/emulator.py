@@ -243,6 +243,10 @@ class NetworkEmulator:
         except KeyError:
             raise NetworkError(f"no held message tagged {tag!r}") from None
 
+    def discard_held(self, tag: str) -> None:
+        """Drop a parked message without delivering it (error cleanup)."""
+        self._held.pop(tag, None)
+
     def release_held(self, tag: str,
                      deliveries: Optional[List[Delivery]] = None) -> None:
         """Release a parked message, optionally rewritten by the controller."""

@@ -10,9 +10,8 @@ links, and reassembles the message at the destination host.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.common.errors import NetworkError
 from repro.common.ids import NodeId

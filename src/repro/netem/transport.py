@@ -19,7 +19,7 @@ via :meth:`HostTransport.save_state`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from repro.common.errors import TransportError
 from repro.common.ids import NodeId

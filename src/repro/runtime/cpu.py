@@ -12,7 +12,7 @@ messages queue FIFO behind the busy CPU.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from repro.common.units import micros
 

@@ -11,7 +11,7 @@ state plumbing it orchestrates.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigError
 from repro.common.ids import NodeId
@@ -35,10 +35,12 @@ class World:
     def __init__(self, codec: ProtocolCodec, topology: Optional[Topology] = None,
                  seed: int = 0, device_kind: str = "BundledDevice",
                  os_image: Optional[OsImage] = None,
-                 log_enabled: bool = False) -> None:
+                 log_enabled: bool = False,
+                 watchdog_limit: Optional[int] = None) -> None:
         self.codec = codec
         self.rng = RngRegistry(seed)
         self.kernel = SimKernel()
+        self.kernel.watchdog_limit = watchdog_limit
         self.log = EventLog(lambda: self.kernel.now, enabled=log_enabled)
         self.emulator = NetworkEmulator(self.kernel, topology,
                                         device_kind=device_kind, log=self.log)
@@ -106,6 +108,22 @@ class World:
 
     def crashed_nodes(self) -> List[NodeId]:
         return sorted(n for n, node in self.nodes.items() if node.crashed)
+
+    # ------------------------------------------------------------- watchdog
+
+    def set_watchdog(self, max_events_per_window: Optional[int]) -> None:
+        """Cap events one run window may execute (None disables).
+
+        When the cap is exceeded the kernel raises
+        :class:`~repro.common.errors.WatchdogTimeout`, which the supervision
+        layer treats as a transient platform fault: the offending branch is
+        retried on a fresh testbed and, if it keeps tripping, quarantined.
+        """
+        self.kernel.watchdog_limit = max_events_per_window
+
+    @property
+    def watchdog_trips(self) -> int:
+        return self.kernel.watchdog_trips
 
     # ------------------------------------------------------ direct snapshot
     #

@@ -1,16 +1,46 @@
-"""Shared machinery for the attack-finding algorithms."""
+"""Shared machinery for the attack-finding algorithms.
+
+Every algorithm talks to the platform through the supervised helpers here:
+:meth:`SearchAlgorithm._start_run`, :meth:`_acquire_context`, and
+:meth:`_measure_action` wrap the harness operations in the
+:class:`~repro.controller.supervisor.ScenarioSupervisor`'s
+classify-retry-quarantine logic, so a transient platform fault (failed
+snapshot, watchdog trip, injected fault) costs a bounded retry — with a
+fresh testbed rebuild charged to the ``rebuild`` ledger category — instead
+of aborting the whole pass.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
 
 from repro.attacks.actions import AttackScenario, MaliciousAction
 from repro.attacks.space import ActionSpace, ActionSpaceConfig
-from repro.controller.costs import CostLedger
+from repro.common.errors import ProxyError
+from repro.controller.costs import REBUILD, CostLedger
 from repro.controller.harness import (AttackHarness, InjectionPoint,
                                       TestbedFactory)
 from repro.controller.monitor import AttackThreshold, PerfSample
+from repro.controller.supervisor import (FaultPlan, QuarantinedScenario,
+                                         ScenarioQuarantined,
+                                         ScenarioSupervisor)
 from repro.search.results import SearchReport
+
+
+@dataclass
+class TypeContext:
+    """Everything needed to branch one message type: injection + baseline.
+
+    ``stale`` flips to True when the testbed was rebuilt underneath us (the
+    old snapshot belongs to a dead world); the next supervised measurement
+    transparently re-acquires the injection point and baseline.
+    """
+
+    message_type: str
+    injection: InjectionPoint
+    baseline: PerfSample
+    stale: bool = False
 
 
 class SearchAlgorithm:
@@ -21,22 +51,50 @@ class SearchAlgorithm:
     def __init__(self, factory: TestbedFactory, seed: int = 0,
                  threshold: Optional[AttackThreshold] = None,
                  space_config: Optional[ActionSpaceConfig] = None,
-                 max_wait: Optional[float] = None) -> None:
+                 max_wait: Optional[float] = None,
+                 shared_pages: bool = True,
+                 delta_snapshots: bool = False,
+                 fault_plan: Optional[FaultPlan] = None,
+                 watchdog_limit: Optional[int] = None,
+                 max_retries: int = 2) -> None:
         self.factory = factory
         self.seed = seed
         self.threshold = threshold or AttackThreshold()
         self.space_config = space_config
         self.max_wait = max_wait
+        self.shared_pages = shared_pages
+        self.delta_snapshots = delta_snapshots
+        self.fault_plan = fault_plan
+        self.watchdog_limit = watchdog_limit
         self.ledger = CostLedger()
-        self.harness = AttackHarness(factory, seed, self.threshold,
-                                     ledger=self.ledger)
+        self.harness = self._fresh_harness()
+        self.supervisor = ScenarioSupervisor(self.ledger,
+                                             max_retries=max_retries)
+        #: the in-progress (or last finished) report — lets a caller print
+        #: partial results after a KeyboardInterrupt
+        self.report: Optional[SearchReport] = None
 
     # --------------------------------------------------------------- helpers
+
+    def _fresh_harness(self) -> AttackHarness:
+        return AttackHarness(self.factory, self.seed, self.threshold,
+                             shared_pages=self.shared_pages,
+                             delta_snapshots=self.delta_snapshots,
+                             ledger=self.ledger,
+                             fault_plan=self.fault_plan,
+                             watchdog_limit=self.watchdog_limit)
 
     def _make_report(self) -> SearchReport:
         instance = self.harness.instance
         system = instance.name if instance is not None else "unknown"
-        return SearchReport(self.name, system, ledger=self.ledger)
+        report = SearchReport(self.name, system, ledger=self.ledger)
+        self.report = report
+        return report
+
+    def _finalize_report(self, report: SearchReport) -> SearchReport:
+        report.supervisor.merge(self.supervisor.stats)
+        self.supervisor.stats = type(self.supervisor.stats)()
+        return report
 
     def _space(self) -> ActionSpace:
         return ActionSpace(self.harness.instance.schema, self.space_config)
@@ -47,20 +105,111 @@ class SearchAlgorithm:
             return list(message_types)
         return self.harness.instance.search_types()
 
-    def _injection_for(self, message_type: str) -> Optional[InjectionPoint]:
+    @staticmethod
+    def _exclude_key(scenario: AttackScenario) -> tuple:
+        return scenario.to_record()
+
+    # ------------------------------------------------------ supervised plane
+
+    def _start_run(self) -> None:
+        """Boot (or re-boot) the testbed under supervision."""
+        self.supervisor.run("start_run", self.harness.start_run)
+
+    def _rebuild_testbed(self) -> None:
+        """Replace the testbed with a fresh build of the same factory+seed.
+
+        All platform time the rebuild consumes (boot, warmup execution,
+        warm snapshot) is reattributed to the ledger's ``rebuild`` category
+        via a temporary sub-ledger.
+        """
+        sub = CostLedger()
+        self.harness.ledger = sub
+        try:
+            self.harness.start_run()
+        finally:
+            self.harness.ledger = self.ledger
+            self.ledger.charge(REBUILD, sub.total())
+
+    def _seek_injection(self, message_type: str) -> Optional[InjectionPoint]:
         """Rewind to the warm state and run until the type is intercepted."""
         self.harness.restore(self.harness.warm_snapshot)
         self.harness.proxy.clear_policy()
         return self.harness.run_to_injection(message_type,
                                              max_wait=self.max_wait)
 
+    def _acquire_context(self, message_type: str) -> Optional[TypeContext]:
+        """Supervised injection-seek plus baseline branch.
+
+        Returns None when the type never appears within ``max_wait`` (an
+        honest no-injection-point outcome, charged as wasted execution).
+        Raises :class:`ScenarioQuarantined` when persistent platform faults
+        prevented the platform from even finding out.
+        """
+        def attempt() -> Optional[TypeContext]:
+            injection = self._seek_injection(message_type)
+            if injection is None:
+                return None
+            baseline = self.harness.branch_measure(injection, None)
+            return TypeContext(message_type, injection, baseline)
+
+        return self.supervisor.run(f"injection:{message_type}", attempt,
+                                   rebuild=self._rebuild_testbed,
+                                   scenario=message_type)
+
+    def _refresh_context(self, ctx: TypeContext) -> None:
+        """Re-acquire a context after the testbed was rebuilt."""
+        injection = self._seek_injection(ctx.message_type)
+        if injection is None:
+            # Deterministic worlds reproduce their injection points; losing
+            # one after a rebuild is itself a (transient) platform anomaly.
+            raise ProxyError(
+                f"injection point for {ctx.message_type} lost after rebuild")
+        ctx.injection = injection
+        ctx.baseline = self.harness.branch_measure(injection, None)
+        ctx.stale = False
+
+    def _measure_action(self, ctx: TypeContext,
+                        action: Optional[MaliciousAction]) -> PerfSample:
+        """Supervised branch-measure of one action against ``ctx``.
+
+        Transparently re-acquires the injection point and baseline when a
+        retry rebuilt the testbed.  Raises :class:`ScenarioQuarantined`
+        after persistent failures.
+        """
+        def attempt() -> PerfSample:
+            if ctx.stale:
+                self._refresh_context(ctx)
+            return self.harness.branch_measure(ctx.injection, action)
+
+        def rebuild() -> None:
+            self._rebuild_testbed()
+            ctx.stale = True
+
+        label = (f"{ctx.message_type}"
+                 if action is None
+                 else f"{action.describe()} {ctx.message_type}")
+        return self.supervisor.run(f"branch:{ctx.message_type}", attempt,
+                                   rebuild=rebuild, scenario=label)
+
+    @staticmethod
+    def _quarantine_entry(quarantined: ScenarioQuarantined,
+                          message_type: str,
+                          action: Optional[MaliciousAction]
+                          ) -> QuarantinedScenario:
+        return QuarantinedScenario(
+            message_type,
+            None if action is None else action.to_record(),
+            reason=str(quarantined.cause),
+            attempts=quarantined.attempts)
+
+    # ------------------------------------------------- legacy direct helpers
+
+    def _injection_for(self, message_type: str) -> Optional[InjectionPoint]:
+        return self._seek_injection(message_type)
+
     def _evaluate(self, injection: InjectionPoint,
                   action: Optional[MaliciousAction]) -> PerfSample:
         return self.harness.branch_measure(injection, action)
-
-    @staticmethod
-    def _exclude_key(scenario: AttackScenario) -> tuple:
-        return scenario.to_record()
 
     # ------------------------------------------------------------------ run
 

@@ -11,10 +11,12 @@ boot and warmup.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Set
+from typing import Optional, Sequence, Set, Tuple
 
 from repro.controller.costs import EXECUTION
 from repro.controller.harness import AttackHarness
+from repro.controller.monitor import PerfSample
+from repro.controller.supervisor import ScenarioQuarantined
 from repro.search.base import SearchAlgorithm
 from repro.search.results import AttackFinding, SearchReport
 
@@ -29,9 +31,19 @@ class BruteForceSearch(SearchAlgorithm):
             max_scenarios: Optional[int] = None) -> SearchReport:
         exclude = exclude or set()
 
-        # One benign execution for the baseline.
-        self.harness.start_run(take_warm_snapshot=False)
-        baseline = self.harness.measure_window()
+        # One benign execution for the baseline.  Each attempt is already a
+        # full rebuild, so the supervisor retries the callable directly.
+        def baseline_attempt() -> PerfSample:
+            self.harness = self._fresh_harness()
+            self.harness.start_run(take_warm_snapshot=False)
+            return self.harness.measure_window()
+
+        try:
+            baseline = self.supervisor.run("baseline", baseline_attempt)
+        except ScenarioQuarantined as q:
+            report = self._make_report()
+            report.quarantined.append(self._quarantine_entry(q, "*", None))
+            return self._finalize_report(report)
         report = self._make_report()
 
         types = self._search_types(message_types)
@@ -45,26 +57,55 @@ class BruteForceSearch(SearchAlgorithm):
                     else AttackHarness.DEFAULT_MAX_WAIT)
 
         for scenario in scenarios:
-            # Fresh execution: boot + warmup paid every time.
-            self.harness = AttackHarness(self.factory, self.seed,
-                                         self.threshold, ledger=self.ledger)
-            instance = self.harness.start_run(take_warm_snapshot=False)
-            instance.proxy.set_policy(scenario.message_type, scenario.action)
-            instance.proxy.reset_counters()
+            def scenario_attempt(scenario=scenario
+                                 ) -> Tuple[Optional[float],
+                                            Optional[PerfSample]]:
+                # Fresh execution: boot + warmup paid every time.
+                self.harness = self._fresh_harness()
+                instance = self.harness.start_run(take_warm_snapshot=False)
+                instance.proxy.set_policy(scenario.message_type,
+                                          scenario.action)
+                instance.proxy.reset_counters()
 
-            # Run until the action has actually been applied (the injection
-            # point), or waste the full execution if the type never occurs.
-            deadline = instance.world.kernel.now + max_wait
-            injected_at = None
-            while instance.world.kernel.now < deadline:
+                # Run until the action has actually been applied (the
+                # injection point), or waste the full execution if the type
+                # never occurs.
+                deadline = instance.world.kernel.now + max_wait
+                injected_at = None
+                while instance.world.kernel.now < deadline:
+                    start = instance.world.kernel.now
+                    step = min(0.5, deadline - start)
+                    try:
+                        instance.world.run_for(step)
+                    finally:
+                        self.ledger.charge(
+                            EXECUTION, instance.world.kernel.now - start)
+                    if instance.proxy.first_injection_time is not None:
+                        injected_at = instance.proxy.first_injection_time
+                        break
+                if injected_at is None:
+                    return None, None
+
+                # Measure the window from the injection point.
+                window_end = injected_at + instance.window
                 start = instance.world.kernel.now
-                step = min(0.5, deadline - start)
-                instance.world.run_for(step)
-                self.ledger.charge(EXECUTION,
-                                   instance.world.kernel.now - start)
-                if instance.proxy.first_injection_time is not None:
-                    injected_at = instance.proxy.first_injection_time
-                    break
+                try:
+                    instance.world.run_until(window_end)
+                finally:
+                    self.ledger.charge(EXECUTION,
+                                       instance.world.kernel.now - start)
+                crashed = len(instance.world.crashed_nodes())
+                return injected_at, self.harness.monitor.sample(
+                    injected_at, window_end, crashed_nodes=crashed)
+
+            try:
+                injected_at, sample = self.supervisor.run(
+                    f"scenario:{scenario.message_type}", scenario_attempt,
+                    scenario=scenario.describe())
+            except ScenarioQuarantined as q:
+                report.quarantined.append(self._quarantine_entry(
+                    q, scenario.message_type, scenario.action))
+                continue
             report.scenarios_evaluated += 1
             if injected_at is None:
                 if scenario.message_type not in report.types_without_injection:
@@ -72,19 +113,10 @@ class BruteForceSearch(SearchAlgorithm):
                 continue
             report.injection_points += 1
 
-            # Measure the window from the injection point.
-            window_end = injected_at + instance.window
-            start = instance.world.kernel.now
-            instance.world.run_until(window_end)
-            self.ledger.charge(EXECUTION, instance.world.kernel.now - start)
-            crashed = len(instance.world.crashed_nodes())
-            sample = self.harness.monitor.sample(injected_at, window_end,
-                                                 crashed_nodes=crashed)
-
             if self.threshold.is_attack(baseline, sample):
                 report.findings.append(AttackFinding(
                     scenario, baseline, sample,
                     damage=self.threshold.damage(baseline, sample),
                     crashes=sample.crashed_nodes,
                     found_at=self.ledger.total()))
-        return report
+        return self._finalize_report(report)

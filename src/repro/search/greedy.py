@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Set, Tuple
 
+from repro.controller.supervisor import ScenarioQuarantined
 from repro.search.base import SearchAlgorithm
 from repro.search.results import AttackFinding, SearchReport
 
@@ -37,7 +38,12 @@ class GreedySearch(SearchAlgorithm):
     def run(self, message_types: Optional[Sequence[str]] = None,
             exclude: Optional[Set[tuple]] = None) -> SearchReport:
         exclude = exclude or set()
-        self.harness.start_run()
+        try:
+            self._start_run()
+        except ScenarioQuarantined as q:
+            report = self._make_report()
+            report.quarantined.append(self._quarantine_entry(q, "*", None))
+            return self._finalize_report(report)
         report = self._make_report()
         space = self._space()
 
@@ -51,19 +57,31 @@ class GreedySearch(SearchAlgorithm):
             selections: Dict[tuple, int] = {}
             best_by_action: Dict[tuple, Tuple] = {}
             saw_injection = False
+            type_quarantined = False
 
             for __ in range(self.rounds):
-                injection = self._injection_for(message_type)
-                if injection is None:
+                try:
+                    ctx = self._acquire_context(message_type)
+                except ScenarioQuarantined as q:
+                    report.quarantined.append(
+                        self._quarantine_entry(q, message_type, None))
+                    type_quarantined = True
+                    break
+                if ctx is None:
                     break
                 saw_injection = True
                 report.injection_points += 1
-                baseline = self._evaluate(injection, None)
 
                 worst_key = None
                 worst_damage = -1.0
                 for action in actions:
-                    sample = self._evaluate(injection, action)
+                    try:
+                        sample = self._measure_action(ctx, action)
+                    except ScenarioQuarantined as q:
+                        report.quarantined.append(
+                            self._quarantine_entry(q, message_type, action))
+                        continue
+                    baseline = ctx.baseline
                     report.scenarios_evaluated += 1
                     damage = self.threshold.damage(baseline, sample)
                     if sample.crashed_nodes > baseline.crashed_nodes:
@@ -77,7 +95,8 @@ class GreedySearch(SearchAlgorithm):
                     selections[worst_key] = selections.get(worst_key, 0) + 1
 
             if not saw_injection:
-                report.types_without_injection.append(message_type)
+                if not type_quarantined:
+                    report.types_without_injection.append(message_type)
                 continue
 
             # Confirm the most-selected action if it clears both bars.
@@ -93,7 +112,7 @@ class GreedySearch(SearchAlgorithm):
                         found_at=self.ledger.total(),
                         confirmations=count))
                 break  # greedy keeps only the strongest attack per type
-        return report
+        return self._finalize_report(report)
 
 
 def _scenario(message_type: str, action):

@@ -5,19 +5,41 @@ finding the strongest attack — until the method does not find any more
 attacks."  :func:`hunt` automates that loop: each pass excludes every
 scenario already found, and the hunt stops when a pass finds nothing new
 (or the pass budget runs out).
+
+Long campaigns are supervised and resumable:
+
+* every pass runs under the search stack's classify-retry-quarantine
+  supervision (see :mod:`repro.controller.supervisor`), optionally with a
+  deterministic :class:`~repro.controller.supervisor.FaultPlan` injected and
+  a kernel watchdog armed;
+* with ``checkpoint_path`` set, the excluded scenarios, cluster weights,
+  ledger, and completed passes are persisted to JSON after every pass, and
+  ``hunt(..., resume=True)`` (or ``python -m repro hunt --resume``) picks an
+  interrupted campaign back up, reproducing exactly what an uninterrupted
+  hunt would have found;
+* a ``KeyboardInterrupt`` mid-pass returns the partial result (with
+  ``interrupted=True``) after writing a final checkpoint instead of
+  propagating a bare traceback.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.attacks.space import ActionSpaceConfig
+from repro.common.errors import ConfigError
 from repro.controller.costs import CostLedger
 from repro.controller.harness import TestbedFactory
 from repro.controller.monitor import AttackThreshold
+from repro.controller.supervisor import (FaultPlan, QuarantinedScenario,
+                                         SupervisorStats)
 from repro.search.results import AttackFinding, SearchReport
 from repro.search.weighted import ClusterWeights, WeightedGreedySearch
+
+CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -27,6 +49,14 @@ class HuntResult:
     passes: List[SearchReport] = field(default_factory=list)
     findings: List[AttackFinding] = field(default_factory=list)
     total_ledger: CostLedger = field(default_factory=CostLedger)
+    #: scenarios set aside as inconclusive across all passes
+    quarantined: List[QuarantinedScenario] = field(default_factory=list)
+    #: aggregated supervision counters across all passes
+    supervisor: SupervisorStats = field(default_factory=SupervisorStats)
+    #: True when a KeyboardInterrupt cut the campaign short
+    interrupted: bool = False
+    #: number of passes restored from a checkpoint rather than executed
+    resumed_passes: int = 0
 
     @property
     def total_time(self) -> float:
@@ -36,14 +66,83 @@ class HuntResult:
         return [f.name for f in self.findings]
 
     def describe(self) -> str:
+        status = " (INTERRUPTED)" if self.interrupted else ""
         lines = [f"hunt: {len(self.findings)} attacks over "
                  f"{len(self.passes)} passes, "
-                 f"platform time {self.total_time:.1f}s"]
+                 f"platform time {self.total_time:.1f}s{status}"]
+        if self.resumed_passes:
+            lines.append(f"  resumed from checkpoint "
+                         f"({self.resumed_passes} passes restored)")
         for i, report in enumerate(self.passes, start=1):
             names = ", ".join(report.attack_names()) or "(nothing new)"
             lines.append(f"  pass {i}: {names}")
+        if self.supervisor.total_events:
+            lines.append("  " + self.supervisor.describe())
+        for q in self.quarantined:
+            lines.append("  " + q.describe())
         return "\n".join(lines)
 
+
+# ------------------------------------------------------------- checkpointing
+
+def _checkpoint_dict(system: str, seed: int, excluded: Set[tuple],
+                     weights: ClusterWeights,
+                     result: HuntResult) -> Dict:
+    from repro.analysis.reports import record_to_jsonable, report_to_dict
+    return {
+        "version": CHECKPOINT_VERSION,
+        "system": system,
+        "seed": seed,
+        "excluded": [record_to_jsonable(r) for r in sorted(excluded)],
+        "weights": dict(weights.weights),
+        "ledger": dict(result.total_ledger.by_category),
+        "passes": [report_to_dict(p) for p in result.passes],
+        "complete": bool(result.passes) and not result.passes[-1].findings,
+    }
+
+
+def save_checkpoint(path: str, system: str, seed: int, excluded: Set[tuple],
+                    weights: ClusterWeights, result: HuntResult) -> None:
+    """Atomically persist the hunt state (write to a temp file + rename)."""
+    data = _checkpoint_dict(system, seed, excluded, weights, result)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as fh:
+        json.dump(data, fh, indent=2)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> Dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    version = data.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ConfigError(f"checkpoint {path} has version {version!r}; "
+                          f"this build reads version {CHECKPOINT_VERSION}")
+    return data
+
+
+def _restore_from_checkpoint(data: Dict, seed: int,
+                             excluded: Set[tuple],
+                             weights: ClusterWeights,
+                             result: HuntResult) -> None:
+    from repro.analysis.reports import record_from_jsonable, report_from_dict
+    if data["seed"] != seed:
+        raise ConfigError(
+            f"checkpoint was written by a hunt with seed {data['seed']}, "
+            f"cannot resume with seed {seed}")
+    excluded.update(tuple(record_from_jsonable(r)) for r in data["excluded"])
+    weights.weights = dict(data["weights"])
+    result.total_ledger = CostLedger(dict(data["ledger"]))
+    for report_data in data["passes"]:
+        report = report_from_dict(report_data)
+        result.passes.append(report)
+        result.findings.extend(report.findings)
+        result.quarantined.extend(report.quarantined)
+        result.supervisor.merge(report.supervisor)
+    result.resumed_passes = len(result.passes)
+
+
+# --------------------------------------------------------------------- hunt
 
 def hunt(factory: TestbedFactory, seed: int = 0,
          message_types: Optional[Sequence[str]] = None,
@@ -51,27 +150,65 @@ def hunt(factory: TestbedFactory, seed: int = 0,
          space_config: Optional[ActionSpaceConfig] = None,
          max_passes: int = 5,
          max_wait: Optional[float] = None,
-         exclude: Optional[Set[tuple]] = None) -> HuntResult:
+         exclude: Optional[Set[tuple]] = None,
+         shared_pages: bool = True,
+         delta_snapshots: bool = False,
+         fault_plan: Optional[FaultPlan] = None,
+         watchdog_limit: Optional[int] = None,
+         max_retries: int = 2,
+         checkpoint_path: Optional[str] = None,
+         resume: bool = False) -> HuntResult:
     """Run weighted-greedy passes until a pass finds nothing new.
 
     The cluster weights persist across passes, so what pass 1 learned about
-    effective action categories speeds up pass 2.
+    effective action categories speeds up pass 2.  With ``checkpoint_path``
+    the hunt state is persisted after every pass; ``resume=True`` restores
+    it (when the file exists) and continues from the next pass.
     """
     result = HuntResult()
     excluded: Set[tuple] = set(exclude or ())
     weights = ClusterWeights()
+    system = "unknown"
 
-    for __ in range(max_passes):
+    if resume:
+        if checkpoint_path is None:
+            raise ConfigError("resume requires a checkpoint path")
+        if os.path.exists(checkpoint_path):
+            data = load_checkpoint(checkpoint_path)
+            _restore_from_checkpoint(data, seed, excluded, weights, result)
+            system = data["system"]
+            if data.get("complete"):
+                return result  # campaign already converged; nothing to redo
+
+    for __ in range(result.resumed_passes, max_passes):
         search = WeightedGreedySearch(factory, seed=seed,
                                       threshold=threshold,
                                       space_config=space_config,
-                                      max_wait=max_wait, weights=weights)
-        report = search.run(message_types=message_types, exclude=excluded)
+                                      max_wait=max_wait, weights=weights,
+                                      shared_pages=shared_pages,
+                                      delta_snapshots=delta_snapshots,
+                                      fault_plan=fault_plan,
+                                      watchdog_limit=watchdog_limit,
+                                      max_retries=max_retries)
+        try:
+            report = search.run(message_types=message_types, exclude=excluded)
+        except KeyboardInterrupt:
+            result.interrupted = True
+            if checkpoint_path is not None:
+                save_checkpoint(checkpoint_path, system, seed, excluded,
+                                weights, result)
+            return result
+        system = report.system
         result.passes.append(report)
         result.total_ledger.merge(report.ledger)
-        if not report.findings:
-            break
+        result.quarantined.extend(report.quarantined)
+        result.supervisor.merge(report.supervisor)
         for finding in report.findings:
             excluded.add(finding.scenario.to_record())
             result.findings.append(finding)
+        if checkpoint_path is not None:
+            save_checkpoint(checkpoint_path, system, seed, excluded,
+                            weights, result)
+        if not report.findings:
+            break
     return result

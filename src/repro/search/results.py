@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.attacks.actions import AttackScenario
 from repro.controller.costs import CostLedger
 from repro.controller.monitor import PerfSample
+from repro.controller.supervisor import QuarantinedScenario, SupervisorStats
 
 
 @dataclass
@@ -50,6 +51,10 @@ class SearchReport:
     scenarios_evaluated: int = 0
     injection_points: int = 0
     types_without_injection: List[str] = field(default_factory=list)
+    #: scenarios set aside as inconclusive after persistent platform faults
+    quarantined: List[QuarantinedScenario] = field(default_factory=list)
+    #: retries, rebuilds, quarantines, watchdog trips + their event log
+    supervisor: SupervisorStats = field(default_factory=SupervisorStats)
 
     @property
     def total_time(self) -> float:
@@ -70,4 +75,7 @@ class SearchReport:
                  f"{self.scenarios_evaluated} scenarios evaluated, "
                  f"platform time {self.total_time:.1f}s"]
         lines.extend("  " + f.describe() for f in self.findings)
+        if self.supervisor.total_events:
+            lines.append("  " + self.supervisor.describe())
+        lines.extend("  " + q.describe() for q in self.quarantined)
         return "\n".join(lines)

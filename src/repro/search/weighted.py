@@ -25,6 +25,7 @@ from repro.attacks.actions import (CLUSTER_DELAY, CLUSTER_DIVERT,
                                    CLUSTER_LIE_BOUNDARY, CLUSTER_LIE_RANDOM,
                                    CLUSTER_LIE_RELATIVE, AttackScenario,
                                    MaliciousAction)
+from repro.controller.supervisor import ScenarioQuarantined
 from repro.search.base import SearchAlgorithm
 from repro.search.results import AttackFinding, SearchReport
 
@@ -81,7 +82,14 @@ class WeightedGreedySearch(SearchAlgorithm):
     def run(self, message_types: Optional[Sequence[str]] = None,
             exclude: Optional[Set[tuple]] = None) -> SearchReport:
         exclude = exclude or set()
-        self.harness.start_run()
+        try:
+            self._start_run()
+        except ScenarioQuarantined as q:
+            # The platform could not even produce a warm testbed; report an
+            # empty (but intact) pass rather than killing the hunt.
+            report = self._make_report()
+            report.quarantined.append(self._quarantine_entry(q, "*", None))
+            return self._finalize_report(report)
         report = self._make_report()
         space = self._space()
 
@@ -91,19 +99,31 @@ class WeightedGreedySearch(SearchAlgorithm):
                        not in exclude]
             if not actions:
                 continue
-            injection = self._injection_for(message_type)
-            if injection is None:
+            try:
+                ctx = self._acquire_context(message_type)
+            except ScenarioQuarantined as q:
+                report.quarantined.append(
+                    self._quarantine_entry(q, message_type, None))
+                continue
+            if ctx is None:
                 report.types_without_injection.append(message_type)
                 continue
             report.injection_points += 1
-            baseline = self._evaluate(injection, None)
 
             ordered = self.weights.order_actions(actions)
             worst: Optional[AttackFinding] = None
             found = False
             for action in ordered:
-                sample = self._evaluate(injection, action)
+                try:
+                    sample = self._measure_action(ctx, action)
+                except ScenarioQuarantined as q:
+                    report.quarantined.append(
+                        self._quarantine_entry(q, message_type, action))
+                    continue
                 report.scenarios_evaluated += 1
+                # ctx.baseline tracks any mid-type rebuild, so damage is
+                # always computed against the same world the sample saw.
+                baseline = ctx.baseline
                 damage = self.threshold.damage(baseline, sample)
                 crashed = sample.crashed_nodes > baseline.crashed_nodes
                 finding = AttackFinding(
@@ -125,4 +145,4 @@ class WeightedGreedySearch(SearchAlgorithm):
                 # weak selection, not a confirmed attack.
                 worst.found_at = self.ledger.total()
                 report.weak_selections.append(worst)
-        return report
+        return self._finalize_report(report)

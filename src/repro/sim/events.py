@@ -9,7 +9,7 @@ tie-breaking must never depend on hash order or identity).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Tuple
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.common.errors import SimulationError
+from repro.common.errors import SimulationError, WatchdogTimeout
 from repro.sim.events import Event, EventHandle, PRIORITY_TIMER
 
 
@@ -43,6 +43,12 @@ class SimKernel:
         self._interrupt: Optional[Interrupt] = None
         self._running = False
         self.events_executed = 0
+        #: virtual-time watchdog: maximum events one run window (a single
+        #: :meth:`run_until` call) may execute before the kernel raises
+        #: :class:`WatchdogTimeout`.  ``None`` disables the watchdog.
+        self.watchdog_limit: Optional[int] = None
+        #: how many times the watchdog has tripped on this kernel
+        self.watchdog_trips = 0
 
     # ------------------------------------------------------------------ time
 
@@ -120,6 +126,7 @@ class SimKernel:
         if self._running:
             raise SimulationError("run loop is not reentrant")
         self._running = True
+        window_events = 0
         try:
             while True:
                 if self._interrupt is not None:
@@ -128,7 +135,16 @@ class SimKernel:
                 if next_time is None or next_time > deadline:
                     self._now = max(self._now, deadline)
                     return None
+                if (self.watchdog_limit is not None
+                        and window_events >= self.watchdog_limit):
+                    self.watchdog_trips += 1
+                    raise WatchdogTimeout(
+                        f"watchdog: window at t={self._now:.3f} executed "
+                        f"{window_events} events (limit {self.watchdog_limit})"
+                        "; likely an event storm",
+                        events=window_events, limit=self.watchdog_limit)
                 self.step()
+                window_events += 1
         finally:
             self._running = False
 

@@ -15,7 +15,7 @@ were tested against.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.common.ids import NodeId, replica
 from repro.metrics.collector import UPDATE_DONE

@@ -13,7 +13,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.attacks.actions import MaliciousAction
 from repro.attacks.proxy import MaliciousProxy
-from repro.common.ids import NodeId, client, replica
+from repro.common.ids import client, replica
 from repro.controller.harness import TestbedInstance
 from repro.netem.topology import Topology
 from repro.runtime.app import Application

@@ -11,7 +11,7 @@ the slot until the heartbeat timeout elects a new leader).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List
 
 from repro.common.ids import NodeId, client, replica
 from repro.runtime.app import Application

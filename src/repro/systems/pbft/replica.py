@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.ids import NodeId, client, replica
-from repro.systems.common.auth import ZERO_SIGNATURE, Authenticator
+from repro.systems.common.auth import Authenticator
 from repro.systems.common.config import BftConfig
 from repro.systems.common.replica import BaseReplica, digest_of
 from repro.wire.codec import Message

@@ -15,7 +15,7 @@ lying attacks against the sequencer immediately.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.common.ids import NodeId, replica
 from repro.metrics.collector import UPDATE_DONE

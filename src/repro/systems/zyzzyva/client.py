@@ -3,7 +3,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List
 
 from repro.common.ids import NodeId, replica
 from repro.metrics.collector import UPDATE_DONE

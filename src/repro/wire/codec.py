@@ -17,8 +17,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.common.errors import CodecError
-from repro.wire.schema import (KIND_BYTES, KIND_SCALAR, KIND_VARBYTES,
-                               MessageSpec, ProtocolSchema)
+from repro.wire.schema import (KIND_BYTES, KIND_SCALAR, MessageSpec,
+                               ProtocolSchema)
 from repro.wire.types import U16
 
 _TYPE_TAG = U16

@@ -27,7 +27,7 @@ preceded by its length encoded as scalar type T.
 from __future__ import annotations
 
 import re
-from typing import Iterator, List, NamedTuple, Optional, Tuple
+from typing import Iterator, List, NamedTuple, Optional
 
 from repro.common.errors import SchemaParseError
 from repro.wire.schema import MessageSpec, ProtocolSchema, make_field

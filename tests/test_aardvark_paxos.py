@@ -5,7 +5,7 @@ import pytest
 from repro.attacks.actions import (DelayAction, DropAction, DuplicateAction,
                                    LyingAction)
 from repro.attacks.strategies import LyingStrategy
-from repro.common.ids import client, replica
+from repro.common.ids import replica
 from repro.controller.harness import AttackHarness
 from repro.systems.aardvark.testbed import aardvark_testbed
 from repro.systems.paxos.testbed import paxos_testbed

@@ -1,9 +1,8 @@
 """Tests for the malicious proxy."""
 
-import pytest
 
 from repro.attacks.actions import DelayAction, DropAction, DuplicateAction
-from repro.attacks.proxy import HELD_TAG, INJECTION_POINT, MaliciousProxy
+from repro.attacks.proxy import INJECTION_POINT, MaliciousProxy
 from repro.common.ids import replica
 from repro.common.rng import RandomStream
 from repro.netem.emulator import NetworkEmulator

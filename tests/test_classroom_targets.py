@@ -1,7 +1,6 @@
 """Tests for the classroom targets: Byzantine Generals and Total Order
 Multicast (Section V-D)."""
 
-import pytest
 
 from repro.attacks.actions import DelayAction, DropAction, LyingAction
 from repro.attacks.strategies import LyingStrategy

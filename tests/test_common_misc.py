@@ -1,6 +1,5 @@
 """Tests for ids, units, and the event log."""
 
-import pytest
 
 from repro.common.ids import FlowId, NodeId, client, replica
 from repro.common.logging import EventLog

@@ -1,6 +1,5 @@
 """Tests for deterministic named random streams."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.common.rng import RandomStream, RngRegistry, derive_seed

@@ -10,7 +10,7 @@ import pytest
 
 from repro.attacks.actions import DelayAction, DropAction
 from repro.common.errors import SnapshotError
-from repro.common.ids import client, replica
+from repro.common.ids import replica
 from repro.controller.branching import DistributedSnapshotter
 from repro.controller.harness import AttackHarness
 from repro.systems.paxos.testbed import paxos_testbed

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import SegmentationFault
-from repro.common.ids import NodeId, replica
+from repro.common.ids import replica
 from repro.common.rng import RngRegistry
 from repro.netem.emulator import NetworkEmulator
 from repro.netem.topology import LanTopology

@@ -9,8 +9,7 @@ import pytest
 
 from repro.attacks.space import ActionSpaceConfig
 from repro.attacks.actions import (CLUSTER_DELAY, CLUSTER_DUPLICATE,
-                                   DelayAction, DropAction, DuplicateAction)
-from repro.controller.monitor import AttackThreshold
+                                   DelayAction, DuplicateAction)
 from repro.search.brute import BruteForceSearch
 from repro.search.greedy import GreedySearch
 from repro.search.weighted import (DEFAULT_WEIGHTS, ClusterWeights,

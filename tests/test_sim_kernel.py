@@ -4,8 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.common.errors import SimulationError
-from repro.sim.events import (PRIORITY_CONTROL, PRIORITY_NETWORK,
-                              PRIORITY_TIMER)
+from repro.sim.events import PRIORITY_NETWORK, PRIORITY_TIMER
 from repro.sim.kernel import SimKernel
 
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import SnapshotError
 from repro.common.units import PAGE_SIZE
-from repro.vm.memory import GuestMemory, OsImage, digest_bytes, synthetic_digest
+from repro.vm.memory import GuestMemory, OsImage, synthetic_digest
 
 
 class TestOsImage:
