@@ -17,6 +17,7 @@ from repro.controller.monitor import PerfSample
 from repro.controller.supervisor import (QuarantinedScenario,
                                          SupervisorEvent, SupervisorStats)
 from repro.search.results import AttackFinding, SearchReport
+from repro.telemetry.summary import TelemetrySummary
 
 
 # ------------------------------------------------------------- serialization
@@ -29,13 +30,20 @@ def _sample_to_dict(sample: PerfSample) -> Dict[str, Any]:
         "latency_avg": sample.latency_avg,
         "latency_max": sample.latency_max,
         "crashed_nodes": sample.crashed_nodes,
+        "latency_p50": sample.latency_p50,
+        "latency_p95": sample.latency_p95,
+        "latency_p99": sample.latency_p99,
     }
 
 
 def _sample_from_dict(data: Dict[str, Any]) -> PerfSample:
     return PerfSample(data["start"], data["end"], data["throughput"],
                       data["latency_min"], data["latency_avg"],
-                      data["latency_max"], data["crashed_nodes"])
+                      data["latency_max"], data["crashed_nodes"],
+                      # .get: samples serialized before percentiles existed
+                      data.get("latency_p50", 0.0),
+                      data.get("latency_p95", 0.0),
+                      data.get("latency_p99", 0.0))
 
 
 def _finding_to_dict(finding: AttackFinding) -> Dict[str, Any]:
@@ -141,6 +149,8 @@ def report_to_dict(report: SearchReport) -> Dict[str, Any]:
         "types_without_injection": list(report.types_without_injection),
         "quarantined": [_quarantine_to_dict(q) for q in report.quarantined],
         "supervisor": _supervisor_to_dict(report.supervisor),
+        "telemetry": (None if report.telemetry is None
+                      else report.telemetry.to_dict()),
     }
 
 
@@ -158,6 +168,8 @@ def report_from_dict(data: Dict[str, Any]) -> SearchReport:
         quarantined=[_quarantine_from_dict(q)
                      for q in data.get("quarantined", [])],
         supervisor=_supervisor_from_dict(data.get("supervisor", {})),
+        telemetry=(TelemetrySummary.from_dict(data["telemetry"])
+                   if data.get("telemetry") else None),
     )
     return report
 
@@ -195,13 +207,14 @@ def render_markdown(report: SearchReport) -> str:
                      + ", ".join(report.types_without_injection))
         lines.append("")
     if report.findings:
-        lines.append("| attack | baseline | attacked | damage | crashes "
-                     "| found at (s) |")
-        lines.append("|---|---|---|---|---|---|")
+        lines.append("| attack | baseline | attacked | lat p95 (ms) "
+                     "| damage | crashes | found at (s) |")
+        lines.append("|---|---|---|---|---|---|---|")
         for f in report.findings:
             lines.append(
                 f"| {f.name} | {f.baseline.throughput:.1f} "
-                f"| {f.attacked.throughput:.1f} | {f.damage:.0%} "
+                f"| {f.attacked.throughput:.1f} "
+                f"| {f.attacked.latency_p95 * 1000:.2f} | {f.damage:.0%} "
                 f"| {f.crashes} | {f.found_at:.1f} |")
     else:
         lines.append("_No attacks found._")
@@ -216,4 +229,25 @@ def render_markdown(report: SearchReport) -> str:
         lines.append(f"* quarantined scenarios: {len(report.quarantined)}")
         for q in report.quarantined:
             lines.append(f"  * {q.describe()}")
+    telemetry = report.telemetry
+    if telemetry is not None:
+        lines.append("")
+        lines.append("## Telemetry")
+        lines.append("")
+        lines.append(f"* spans: {telemetry.total_spans} over "
+                     f"{len(telemetry.spans)} kinds")
+        if telemetry.spans:
+            lines.append("")
+            lines.append("| span | count | wall (s) | virtual (s) |")
+            lines.append("|---|---|---|---|")
+            for name in sorted(telemetry.spans):
+                s = telemetry.spans[name]
+                lines.append(f"| {name} | {s.count} | {s.wall_total:.3f} "
+                             f"| {s.virtual_total:.3f} |")
+        if telemetry.counters:
+            lines.append("")
+            lines.append("| counter | value |")
+            lines.append("|---|---|")
+            for name in sorted(telemetry.counters):
+                lines.append(f"| {name} | {telemetry.counters[name]:g} |")
     return "\n".join(lines)

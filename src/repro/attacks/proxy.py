@@ -60,7 +60,20 @@ class MaliciousProxy:
         self.intercepted = 0
         self.injections = 0
         self.first_injection_time: Optional[float] = None
+        #: optional :class:`~repro.telemetry.tracer.Tracer`; the harness
+        #: attaches one so each applied action leaves a ``proxy.action``
+        #: instant in the trace (platform-side, never rewound).
+        self.tracer = None
         emulator.set_interceptor(self)
+
+    def _instant(self, action: MaliciousAction, message_type: str) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant("proxy.action", action=type(action).__name__,
+                           message_type=message_type)
+        ins = self.emulator.instruments
+        if ins is not None and ins.enabled:
+            ins.count("proxy.injections")
 
     def reset_counters(self) -> None:
         self.intercepted = 0
@@ -129,6 +142,9 @@ class MaliciousProxy:
         if spec is None:
             return Verdict.passthrough()
         self.intercepted += 1
+        ins = self.emulator.instruments
+        if ins is not None and ins.enabled:
+            ins.count("proxy.intercepted")
 
         if self._holding_type == spec.name:
             # Sibling copy of the held broadcast: park it alongside.
@@ -156,6 +172,7 @@ class MaliciousProxy:
             return Verdict.passthrough()
         deliveries = action.apply(envelope, self._context())
         self.injections += 1
+        self._instant(action, spec.name)
         if self.first_injection_time is None:
             self.first_injection_time = self.emulator.kernel.now
         if not deliveries:
@@ -180,6 +197,8 @@ class MaliciousProxy:
             envelope = self.emulator.peek_held(tag)
             deliveries = action.apply(envelope, self._context())
             self.injections += 1
+            spec = self.codec.peek_type(envelope.payload)
+            self._instant(action, spec.name if spec else "?")
             self.emulator.release_held(tag, deliveries)
 
     def _injection_tags(self):

@@ -12,6 +12,7 @@ replay attack scenarios, or search for new ones.
     python -m repro attack pbft --type PrePrepare --action lie:big_reqs:min
     python -m repro search pbft --algorithm weighted --types PrePrepare,Status
     python -m repro search pbft --json report.json
+    python -m repro hunt pbft --passes 3 --trace trace.json --telemetry
 """
 
 from __future__ import annotations
@@ -30,6 +31,8 @@ from repro.controller.harness import AttackHarness
 from repro.controller.monitor import AttackThreshold
 from repro.controller.supervisor import FaultPlan
 from repro.systems.registry import get_system, registry, system_names
+from repro.telemetry.progress import ProgressLine
+from repro.telemetry.tracer import Tracer
 
 #: conventional exit status for SIGINT (128 + 2)
 EXIT_INTERRUPTED = 130
@@ -39,6 +42,43 @@ def _fault_plan(args) -> Optional[FaultPlan]:
     if getattr(args, "inject_faults", None) is None:
         return None
     return FaultPlan.from_spec(args.inject_faults, seed=args.seed)
+
+
+def _tracer(args) -> Optional[Tracer]:
+    """One platform tracer for the command, on when any consumer wants it."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        # Fail before the run, not after: the trace is written at the end,
+        # and a long hunt is too expensive to lose to a typoed path.
+        try:
+            with open(trace_path, "a"):
+                pass
+        except OSError as exc:
+            raise TurretError(f"cannot write --trace file: {exc}") from exc
+    if trace_path or getattr(args, "telemetry", False):
+        return Tracer(enabled=True)
+    return None
+
+
+def _progress(args) -> ProgressLine:
+    enabled = getattr(args, "progress", False) or sys.stderr.isatty()
+    return ProgressLine(enabled=enabled)
+
+
+def _emit_telemetry(args, tracer: Optional[Tracer],
+                    telemetry, log_records) -> None:
+    """Write the trace file / log JSONL / summary a run was asked for."""
+    if getattr(args, "log_events", None) is not None and log_records:
+        from repro.telemetry.export import log_jsonl_records, write_jsonl
+        write_jsonl(sys.stdout,
+                    log_jsonl_records(log_records, args.log_events))
+    if getattr(args, "trace", None) and tracer is not None:
+        from repro.telemetry.export import write_chrome_trace
+        write_chrome_trace(args.trace, tracer)
+        print(f"trace written to {args.trace} "
+              f"(open with chrome://tracing or ui.perfetto.dev)")
+    if getattr(args, "telemetry", False) and telemetry is not None:
+        print(telemetry.describe())
 
 
 def parse_action(spec: str) -> MaliciousAction:
@@ -99,6 +139,9 @@ def cmd_baseline(args) -> int:
     print(f"  latency min/avg/max: {sample.latency_min * 1000:.2f}/"
           f"{sample.latency_avg * 1000:.2f}/"
           f"{sample.latency_max * 1000:.2f} ms")
+    print(f"  latency p50/p95/p99: {sample.latency_p50 * 1000:.2f}/"
+          f"{sample.latency_p95 * 1000:.2f}/"
+          f"{sample.latency_p99 * 1000:.2f} ms")
     return 0
 
 
@@ -154,6 +197,8 @@ def cmd_search(args) -> int:
         duplicate_counts=(50,) if args.fast else (2, 50),
         include_divert=not args.fast,
         include_lying=not args.no_lying)
+    tracer = _tracer(args)
+    progress = _progress(args)
     search = cls(factory, seed=args.seed,
                  threshold=AttackThreshold(delta=args.delta),
                  space_config=space, max_wait=args.max_wait,
@@ -161,7 +206,9 @@ def cmd_search(args) -> int:
                  delta_snapshots=args.delta_snapshots,
                  fault_plan=_fault_plan(args),
                  watchdog_limit=args.watchdog,
-                 max_retries=args.max_retries)
+                 max_retries=args.max_retries,
+                 tracer=tracer, progress=progress,
+                 log_events=args.log_events is not None)
 
     types: Optional[List[str]] = None
     if args.types:
@@ -174,15 +221,25 @@ def cmd_search(args) -> int:
         from repro.analysis.reports import excluded_scenarios, load_report
         exclude = excluded_scenarios(load_report(args.exclude_from))
 
+    def search_log_records():
+        instance = search.harness.instance
+        return instance.world.log.records if instance is not None else []
+
     try:
         report = search.run(message_types=types, exclude=exclude)
     except KeyboardInterrupt:
+        progress.done()
         report = search.report
         print("\ninterrupted — partial report:")
         if report is not None:
             print(report.describe())
+        _emit_telemetry(args, tracer,
+                        report.telemetry if report is not None else None,
+                        search_log_records())
         return EXIT_INTERRUPTED
+    progress.done()
     print(report.describe())
+    _emit_telemetry(args, tracer, report.telemetry, search_log_records())
     if args.json:
         from repro.analysis.reports import save_report
         save_report(report, args.json)
@@ -211,6 +268,8 @@ def cmd_hunt(args) -> int:
         types = list(entry.active_types)
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume requires --checkpoint PATH")
+    tracer = _tracer(args)
+    progress = _progress(args)
     result = hunt(factory, seed=args.seed, message_types=types,
                   threshold=AttackThreshold(delta=args.delta),
                   space_config=space, max_passes=args.passes,
@@ -221,10 +280,14 @@ def cmd_hunt(args) -> int:
                   watchdog_limit=args.watchdog,
                   max_retries=args.max_retries,
                   checkpoint_path=args.checkpoint,
-                  resume=args.resume)
+                  resume=args.resume,
+                  tracer=tracer, progress=progress,
+                  log_events=args.log_events is not None)
+    progress.done()
     print(result.describe())
     for finding in result.findings:
         print("  " + finding.describe())
+    _emit_telemetry(args, tracer, result.telemetry, result.event_log)
     if result.interrupted:
         if args.checkpoint:
             print(f"checkpoint written to {args.checkpoint}; "
@@ -286,9 +349,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "'restore=0.1,save=0.05,boot=0.02,max=5' "
                             "(for exercising the supervision layer)")
 
+    def telemetry_options(p):
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome trace-event JSON of the run "
+                            "(open with chrome://tracing)")
+        p.add_argument("--telemetry", action="store_true",
+                       help="collect and print a telemetry summary "
+                            "(span totals, counters, histogram percentiles)")
+        p.add_argument("--log-events", nargs="?", const="*", default=None,
+                       metavar="FILTER",
+                       help="stream the experiment EventLog as JSONL to "
+                            "stdout; FILTER is a comma list of component or "
+                            "component:event selectors (default: all)")
+        p.add_argument("--progress", action="store_true",
+                       help="force the live stderr status line on "
+                            "(auto-enabled when stderr is a terminal)")
+
     p = sub.add_parser("search", help="run an attack-finding algorithm")
     common(p)
     supervision(p)
+    telemetry_options(p)
     p.add_argument("--algorithm", choices=("weighted", "greedy", "brute"),
                    default="weighted")
     p.add_argument("--types", default=None,
@@ -312,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
                                     "no new attacks are found")
     common(p)
     supervision(p)
+    telemetry_options(p)
     p.add_argument("--types", default=None)
     p.add_argument("--passes", type=int, default=5)
     p.add_argument("--max-wait", type=float, default=15.0)

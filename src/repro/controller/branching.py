@@ -25,6 +25,7 @@ from repro.common.errors import SnapshotError
 from repro.controller.supervisor import (OP_SNAPSHOT_RESTORE,
                                          OP_SNAPSHOT_SAVE, FaultPlan)
 from repro.runtime.world import World
+from repro.telemetry.tracer import NULL_SPAN, Tracer
 from repro.vm.snapshots import ClusterSnapshot
 
 
@@ -64,7 +65,8 @@ class DistributedSnapshotter:
     def __init__(self, world: World, shared_pages: bool = True,
                  max_bandwidth: bool = True,
                  netem_timing: Optional[NetemTimingModel] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         if not world.booted:
             raise SnapshotError("world must be booted before snapshotting")
         self.world = world
@@ -72,6 +74,13 @@ class DistributedSnapshotter:
         self.max_bandwidth = max_bandwidth
         self.netem_timing = netem_timing or NetemTimingModel()
         self.fault_plan = fault_plan
+        self.tracer = tracer
+
+    def _span(self, name: str, **args):
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer.span(name, **args)
+        return NULL_SPAN
 
     # ------------------------------------------------------------------ save
 
@@ -84,58 +93,79 @@ class DistributedSnapshotter:
         snapshots are taken after one warm snapshot.
         """
         world = self.world
-        # Injected faults fire before any component is touched, so a failed
-        # save leaves the world exactly as it was — retryable by design.
-        if self.fault_plan is not None:
-            self.fault_plan.check(OP_SNAPSHOT_SAVE)
-        # 1. freeze the emulator: virtual time stops, nothing reaches a VM.
-        world.emulator.freeze()
-        # 2. pause every VM: no new packets are generated.
-        pause_cost = world.cluster.pause_all()
-        # 3. snapshot the VMs (apps serialized into guest pages, KSM-shared).
-        if delta_base is not None:
-            vm_result = world.cluster.save_delta_snapshot(
-                delta_base, max_bandwidth=self.max_bandwidth)
-        else:
-            vm_result = world.cluster.save_snapshot(
-                shared=self.shared_pages, max_bandwidth=self.max_bandwidth)
-        # 4. snapshot the emulator and host-side bookkeeping.
-        components = world.save_component_states()
-        in_flight = len(components["netem"]["in_flight"])
-        netem_save = self.netem_timing.save_time(in_flight)
+        mode = ("delta" if delta_base is not None
+                else "shared" if self.shared_pages else "plain")
+        with self._span("snapshot.save", mode=mode) as span:
+            # Injected faults fire before any component is touched, so a
+            # failed save leaves the world exactly as it was — retryable by
+            # design.
+            if self.fault_plan is not None:
+                self.fault_plan.check(OP_SNAPSHOT_SAVE)
+            # 1. freeze the emulator: virtual time stops, nothing reaches a
+            #    VM.
+            world.emulator.freeze()
+            # 2. pause every VM: no new packets are generated.
+            pause_cost = world.cluster.pause_all()
+            # 3. snapshot the VMs (apps serialized into guest pages,
+            #    KSM-shared).
+            if delta_base is not None:
+                vm_result = world.cluster.save_delta_snapshot(
+                    delta_base, max_bandwidth=self.max_bandwidth)
+            else:
+                vm_result = world.cluster.save_snapshot(
+                    shared=self.shared_pages,
+                    max_bandwidth=self.max_bandwidth)
+            # 4. snapshot the emulator and host-side bookkeeping.
+            components = world.save_component_states()
+            in_flight = len(components["netem"]["in_flight"])
+            netem_save = self.netem_timing.save_time(in_flight)
 
-        # Resume execution from the saved point.
-        resume_cost = world.cluster.resume_all()
-        world.emulator.resume_emulation()
+            # Resume execution from the saved point.
+            resume_cost = world.cluster.resume_all()
+            world.emulator.resume_emulation()
 
-        save_cost = (self.netem_timing.freeze_time + pause_cost
-                     + vm_result.snapshot.save_time + netem_save
-                     + resume_cost + self.netem_timing.resume_time)
-        restore_cost = (vm_result.snapshot.load_time
-                        + self.netem_timing.load_time(in_flight)
-                        + world.cluster.timing.resume_time(len(world.cluster))
-                        + self.netem_timing.resume_time)
-        return WorldSnapshot(
-            taken_at=world.kernel.now,
-            components=components,
-            cluster_snapshot=vm_result.snapshot,
-            in_flight_events=in_flight,
-            save_cost=save_cost,
-            restore_cost=restore_cost,
-        )
+            save_cost = (self.netem_timing.freeze_time + pause_cost
+                         + vm_result.snapshot.save_time + netem_save
+                         + resume_cost + self.netem_timing.resume_time)
+            restore_cost = (vm_result.snapshot.load_time
+                            + self.netem_timing.load_time(in_flight)
+                            + world.cluster.timing.resume_time(
+                                len(world.cluster))
+                            + self.netem_timing.resume_time)
+            span.set(stored_bytes=vm_result.snapshot.stored_bytes(),
+                     save_cost=save_cost, restore_cost=restore_cost,
+                     **vm_result.snapshot.page_counts())
+            ins = world.instruments
+            if ins.enabled:
+                ins.count(f"snapshot.saves_{mode}")
+                ins.observe("snapshot.save_cost", save_cost)
+            return WorldSnapshot(
+                taken_at=world.kernel.now,
+                components=components,
+                cluster_snapshot=vm_result.snapshot,
+                in_flight_events=in_flight,
+                save_cost=save_cost,
+                restore_cost=restore_cost,
+            )
 
     # --------------------------------------------------------------- restore
 
     def restore(self, snapshot: WorldSnapshot) -> float:
         """Rewind the world to ``snapshot``; returns the modelled cost."""
-        if self.fault_plan is not None:
-            self.fault_plan.check(OP_SNAPSHOT_RESTORE)
         world = self.world
-        # Reverse order of the save: emulator (and host clock) state first,
-        # then the VMs, then resume VMs, then resume the emulator.
-        world.load_component_states(snapshot.components)
-        world.cluster.restore_snapshot(snapshot.cluster_snapshot)
-        world.cluster.resume_all()
-        if world.emulator.frozen:
-            world.emulator.resume_emulation()
-        return snapshot.restore_cost
+        with self._span("snapshot.restore",
+                        mode=snapshot.cluster_snapshot.mode
+                        if isinstance(snapshot.cluster_snapshot,
+                                      ClusterSnapshot) else "delta",
+                        restore_cost=snapshot.restore_cost,
+                        taken_at=snapshot.taken_at):
+            if self.fault_plan is not None:
+                self.fault_plan.check(OP_SNAPSHOT_RESTORE)
+            # Reverse order of the save: emulator (and host clock) state
+            # first, then the VMs, then resume VMs, then resume the emulator.
+            world.load_component_states(snapshot.components)
+            world.cluster.restore_snapshot(snapshot.cluster_snapshot)
+            world.cluster.resume_all()
+            if world.emulator.frozen:
+                world.emulator.resume_emulation()
+            return snapshot.restore_cost

@@ -28,6 +28,7 @@ from repro.controller.monitor import (AttackThreshold, PerfSample,
                                       PerformanceMonitor)
 from repro.controller.supervisor import OP_BOOT, OP_PROXY, FaultPlan
 from repro.runtime.world import World
+from repro.telemetry.tracer import NULL_SPAN, Tracer
 from repro.wire.schema import ProtocolSchema
 
 
@@ -77,7 +78,9 @@ class AttackHarness:
                  delta_snapshots: bool = False,
                  ledger: Optional[CostLedger] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 watchdog_limit: Optional[int] = None) -> None:
+                 watchdog_limit: Optional[int] = None,
+                 tracer: Optional[Tracer] = None,
+                 log_events: bool = False) -> None:
         self.factory = factory
         self.seed = seed
         self.threshold = threshold or AttackThreshold()
@@ -90,6 +93,10 @@ class AttackHarness:
         self.fault_plan = fault_plan
         #: events-per-window cap installed on each instance's kernel
         self.watchdog_limit = watchdog_limit
+        #: platform-side tracer (never rewound by restores); None disables
+        self.tracer = tracer
+        #: enable each instance's EventLog so records can be exported
+        self.log_events = log_events
         self.instance: Optional[TestbedInstance] = None
         self.snapshotter: Optional[DistributedSnapshotter] = None
         self.monitor: Optional[PerformanceMonitor] = None
@@ -97,21 +104,43 @@ class AttackHarness:
 
     # ------------------------------------------------------------- lifecycle
 
+    def _span(self, name: str, **args):
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer.span(name, **args)
+        return NULL_SPAN
+
+    def _wire_telemetry(self, instance: TestbedInstance) -> None:
+        """Attach the platform tracer and flip on the world's observers."""
+        world = instance.world
+        if self.log_events:
+            world.log.enabled = True
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.attach_clock(lambda: world.kernel.now)
+            world.instruments.enabled = True
+            world.kernel.tracer = self.tracer
+            instance.proxy.tracer = self.tracer
+
     def start_run(self, take_warm_snapshot: bool = True) -> TestbedInstance:
         """Build, boot, and warm up a fresh instance of the testbed."""
         if self.fault_plan is not None:
             self.fault_plan.check(OP_BOOT)
         self.instance = self.factory(self.seed)
         world = self.instance.world
+        self._wire_telemetry(self.instance)
         if self.watchdog_limit is not None:
             world.set_watchdog(self.watchdog_limit)
-        boot_time = world.boot()
+        with self._span("harness.boot", testbed=self.instance.name,
+                        seed=self.seed) as span:
+            boot_time = world.boot()
+            span.set(boot_time=boot_time, nodes=len(world.nodes))
         self.ledger.charge(BOOT, boot_time)
         self.snapshotter = DistributedSnapshotter(
             world, shared_pages=self.shared_pages,
-            fault_plan=self.fault_plan)
+            fault_plan=self.fault_plan, tracer=self.tracer)
         self.monitor = PerformanceMonitor(world.metrics)
-        self._run(self.instance.warmup)
+        with self._span("harness.warmup", duration=self.instance.warmup):
+            self._run(self.instance.warmup)
         if take_warm_snapshot:
             self.warm_snapshot = self.take_snapshot()
         return self.instance
@@ -173,28 +202,33 @@ class AttackHarness:
         if self.fault_plan is not None:
             self.fault_plan.check(OP_PROXY)
         instance.proxy.arm(message_type)
-        try:
-            while True:
-                start = self.world.kernel.now
-                try:
-                    interrupt = self.world.run_until(deadline)
-                finally:
-                    self.ledger.charge(EXECUTION,
-                                       self.world.kernel.now - start)
-                if interrupt is None:
-                    instance.proxy.disarm()
-                    return None
-                if interrupt.reason != INJECTION_POINT:
-                    continue
-                info = interrupt.payload
-                snapshot = self.take_snapshot()
-                return InjectionPoint(info["message_type"], info["time"],
-                                      info["src"], info["dst"], snapshot)
-        except BaseException:
-            # An exception mid-seek (watchdog trip, snapshot fault...) must
-            # not leave the proxy armed or the injection message stranded.
-            instance.proxy.abort_injection()
-            raise
+        with self._span("harness.seek", message_type=message_type,
+                        max_wait=wait) as span:
+            try:
+                while True:
+                    start = self.world.kernel.now
+                    try:
+                        interrupt = self.world.run_until(deadline)
+                    finally:
+                        self.ledger.charge(EXECUTION,
+                                           self.world.kernel.now - start)
+                    if interrupt is None:
+                        instance.proxy.disarm()
+                        span.set(found=False)
+                        return None
+                    if interrupt.reason != INJECTION_POINT:
+                        continue
+                    info = interrupt.payload
+                    snapshot = self.take_snapshot()
+                    span.set(found=True, time=info["time"])
+                    return InjectionPoint(info["message_type"], info["time"],
+                                          info["src"], info["dst"], snapshot)
+            except BaseException:
+                # An exception mid-seek (watchdog trip, snapshot fault...)
+                # must not leave the proxy armed or the injection message
+                # stranded.
+                instance.proxy.abort_injection()
+                raise
 
     # ----------------------------------------------------------- branching
 
@@ -206,24 +240,28 @@ class AttackHarness:
         released unmodified and no policy is installed).
         """
         instance = self._require_instance()
-        try:
-            self.restore(injection.snapshot)
-            instance.proxy.disarm()
-            instance.proxy.clear_policy()
-            if action is not None:
-                instance.proxy.set_policy(injection.message_type, action)
-            instance.proxy.release_held(action)
-            self._run(instance.window)
-        finally:
-            # Whatever happened — clean restore-and-measure or a platform
-            # fault anywhere in the branch — the proxy ends disarmed, with
-            # no policy installed and no held message stranded.
-            instance.proxy.clear_policy()
-            instance.proxy.abort_injection()
-        crashed = len(self.world.crashed_nodes())
-        return self.monitor.sample(injection.time,
-                                   injection.time + instance.window,
-                                   crashed_nodes=crashed)
+        with self._span("harness.branch",
+                        message_type=injection.message_type,
+                        action=type(action).__name__ if action else "baseline"):
+            try:
+                self.restore(injection.snapshot)
+                instance.proxy.disarm()
+                instance.proxy.clear_policy()
+                if action is not None:
+                    instance.proxy.set_policy(injection.message_type, action)
+                instance.proxy.release_held(action)
+                with self._span("harness.measure", window=instance.window):
+                    self._run(instance.window)
+            finally:
+                # Whatever happened — clean restore-and-measure or a platform
+                # fault anywhere in the branch — the proxy ends disarmed,
+                # with no policy installed and no held message stranded.
+                instance.proxy.clear_policy()
+                instance.proxy.abort_injection()
+            crashed = len(self.world.crashed_nodes())
+            return self.monitor.sample(injection.time,
+                                       injection.time + instance.window,
+                                       crashed_nodes=crashed)
 
     # -------------------------------------------------------------- measure
 
@@ -232,6 +270,7 @@ class AttackHarness:
         instance = self._require_instance()
         w = window if window is not None else instance.window
         start = self.world.kernel.now
-        self._run(w)
+        with self._span("harness.measure", window=w):
+            self._run(w)
         crashed = len(self.world.crashed_nodes())
         return self.monitor.sample(start, start + w, crashed_nodes=crashed)

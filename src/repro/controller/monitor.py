@@ -26,6 +26,11 @@ class PerfSample:
     latency_avg: float
     latency_max: float
     crashed_nodes: int = 0
+    # Tail percentiles (appended with defaults: older callers construct
+    # PerfSample positionally with the seven fields above).
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
 
     @property
     def window(self) -> float:
@@ -34,6 +39,8 @@ class PerfSample:
     def describe(self) -> str:
         out = (f"{self.throughput:.2f} upd/s, "
                f"lat {self.latency_avg * 1000:.2f} ms")
+        if self.latency_p95:
+            out += f" (p95 {self.latency_p95 * 1000:.2f} ms)"
         if self.crashed_nodes:
             out += f", {self.crashed_nodes} crashed"
         return out
@@ -72,5 +79,6 @@ class PerformanceMonitor:
                crashed_nodes: int = 0) -> PerfSample:
         throughput = self.metrics.throughput(start, end)
         lat_min, lat_avg, lat_max = self.metrics.latency_stats(start, end)
+        p50, p95, p99 = self.metrics.latency_percentiles(start, end)
         return PerfSample(start, end, throughput, lat_min, lat_avg, lat_max,
-                          crashed_nodes)
+                          crashed_nodes, p50, p95, p99)

@@ -75,6 +75,27 @@ class MetricsCollector:
             return (0.0, 0.0, 0.0)
         return (min(values), sum(values) / len(values), max(values))
 
+    def latency_percentiles(self, start: float, end: float,
+                            name: str = UPDATE_DONE,
+                            pcts: Tuple[float, ...] = (50, 95, 99)
+                            ) -> Tuple[float, ...]:
+        """Exact percentiles of event values in the window; zeros if empty.
+
+        Linear interpolation between order statistics (the same convention
+        as numpy's default), computed from the collector's raw events — the
+        telemetry registry's bucketed histograms approximate, this does not.
+        """
+        values = sorted(self.values_in(name, start, end))
+        if not values:
+            return tuple(0.0 for _ in pcts)
+        out = []
+        for p in pcts:
+            idx = (p / 100.0) * (len(values) - 1)
+            lo = int(idx)
+            hi = min(lo + 1, len(values) - 1)
+            out.append(values[lo] + (values[hi] - values[lo]) * (idx - lo))
+        return tuple(out)
+
     def last_event_time(self, name: str = UPDATE_DONE) -> Optional[float]:
         times = self._times(name)
         return times[-1] if times else None

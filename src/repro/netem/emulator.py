@@ -117,8 +117,12 @@ class NetworkEmulator:
 
     def __init__(self, kernel: SimKernel, topology: Optional[Topology] = None,
                  device_kind: str = "BundledDevice",
-                 log: Optional[EventLog] = None) -> None:
+                 log: Optional[EventLog] = None,
+                 instruments=None) -> None:
         self.kernel = kernel
+        #: optional world-owned InstrumentRegistry; counters here mirror
+        #: :class:`EmulatorStats` but participate in telemetry snapshots
+        self.instruments = instruments
         self.topology = topology or LanTopology()
         self.device_kind = device_kind
         self.log = log or EventLog(lambda: kernel.now)
@@ -185,6 +189,11 @@ class NetworkEmulator:
         for observer in self._observers:
             observer(event, envelope)
 
+    def _count(self, name: str, n: int = 1) -> None:
+        ins = self.instruments
+        if ins is not None and ins.enabled:
+            ins.count(name, n)
+
     # ------------------------------------------------------------- transmit
 
     def transmit(self, src: NodeId, dst: NodeId, transport: str,
@@ -200,11 +209,13 @@ class NetworkEmulator:
             # An address nothing listens on (e.g. a lying attack rewrote a
             # node-id field): the network blackholes it, as a real LAN would.
             self.stats.messages_blackholed += 1
+            self._count("netem.messages_blackholed")
             return -1
         self._msg_seq += 1
         envelope = MessageEnvelope(self._msg_seq, src, dst, transport, payload)
         self._port(src).messages_out += 1
         self.stats.messages_sent += 1
+        self._count("netem.messages_sent")
         if self._observers:
             self._notify("sent", envelope)
 
@@ -214,6 +225,7 @@ class NetworkEmulator:
 
         if verdict.kind == Verdict.DROP:
             self.stats.messages_dropped_by_proxy += 1
+            self._count("netem.proxy_drops")
             self.log.emit("netem", "proxy_drop", msg=envelope.msg_seq)
         elif verdict.kind == Verdict.HOLD:
             self._held[verdict.hold_tag] = envelope_to_record(envelope)
@@ -257,6 +269,7 @@ class NetworkEmulator:
             return
         if not deliveries:
             self.stats.messages_dropped_by_proxy += 1
+            self._count("netem.proxy_drops")
             return
         for delivery in deliveries:
             self._submit_egress(
@@ -268,6 +281,7 @@ class NetworkEmulator:
         self.peek_held(tag)
         del self._held[tag]
         self.stats.messages_dropped_by_proxy += 1
+        self._count("netem.proxy_drops")
 
     # ------------------------------------------------------------- internals
 
@@ -320,10 +334,12 @@ class NetworkEmulator:
             self._handles[eid] = self.kernel.schedule_at(
                 arrival, self._deliver_due, eid, priority=PRIORITY_NETWORK)
             self.stats.packets_forwarded += 1
+            self._count("netem.packets_forwarded")
             return
         finish = port.device.admit(self.kernel.now, packet)
         if finish is None:
             self.stats.packets_dropped_overflow += 1
+            self._count("netem.packets_dropped_overflow")
             if packet.transport == "tcp":
                 # TCP senders retransmit after an RTO; our links never
                 # corrupt, so overflow at the device is the only loss.
@@ -340,6 +356,7 @@ class NetworkEmulator:
         self._handles[eid] = self.kernel.schedule_at(
             arrival, self._deliver_due, eid, priority=PRIORITY_NETWORK)
         self.stats.packets_forwarded += 1
+        self._count("netem.packets_forwarded")
 
     def _retry_due(self, eid: int) -> None:
         entry = self._in_flight.pop(eid, None)
@@ -370,6 +387,7 @@ class NetworkEmulator:
             return
         port.messages_in += 1
         self.stats.messages_delivered += 1
+        self._count("netem.messages_delivered")
         self.log.emit("netem", "deliver", msg=envelope.msg_seq,
                       dst=str(envelope.dst), size=envelope.size)
         if self._observers:

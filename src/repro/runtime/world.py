@@ -24,6 +24,7 @@ from repro.runtime.app import Application
 from repro.runtime.cpu import CpuCostModel
 from repro.runtime.node import Node
 from repro.sim.kernel import SimKernel
+from repro.telemetry.instruments import InstrumentRegistry
 from repro.vm.manager import VmCluster
 from repro.vm.memory import OsImage
 from repro.wire.codec import ProtocolCodec
@@ -36,14 +37,22 @@ class World:
                  seed: int = 0, device_kind: str = "BundledDevice",
                  os_image: Optional[OsImage] = None,
                  log_enabled: bool = False,
-                 watchdog_limit: Optional[int] = None) -> None:
+                 watchdog_limit: Optional[int] = None,
+                 telemetry_enabled: bool = False) -> None:
         self.codec = codec
         self.rng = RngRegistry(seed)
         self.kernel = SimKernel()
         self.kernel.watchdog_limit = watchdog_limit
         self.log = EventLog(lambda: self.kernel.now, enabled=log_enabled)
+        #: platform instruments for this world — disabled by default, the
+        #: harness flips ``enabled`` when telemetry is requested; the state
+        #: rides in :meth:`save_component_states` so branched executions
+        #: resume from consistent pre-branch telemetry.
+        self.instruments = InstrumentRegistry(enabled=telemetry_enabled)
+        self.kernel.instruments = self.instruments
         self.emulator = NetworkEmulator(self.kernel, topology,
-                                        device_kind=device_kind, log=self.log)
+                                        device_kind=device_kind, log=self.log,
+                                        instruments=self.instruments)
         self.metrics = MetricsCollector()
         self.nodes: Dict[NodeId, Node] = {}
         self._apps: Dict[NodeId, Application] = {}
@@ -136,6 +145,7 @@ class World:
             "netem": self.emulator.save_state(),
             "metrics": self.metrics.save_state(),
             "rng": self.rng.save_state(),
+            "telemetry": self.instruments.save_state(),
         }
 
     def load_component_states(self, state: dict) -> None:
@@ -145,6 +155,9 @@ class World:
         self.emulator.load_state(state["netem"])
         self.metrics.load_state(state["metrics"])
         self.rng.load_state(state["rng"])
+        # Older snapshots predate the instrument registry; .get keeps them
+        # loadable (load_state(None) clears to empty).
+        self.instruments.load_state(state.get("telemetry"))
 
     def run_for(self, duration: float):
         return self.kernel.run_for(duration)

@@ -26,6 +26,9 @@ from repro.controller.supervisor import (FaultPlan, QuarantinedScenario,
                                          ScenarioQuarantined,
                                          ScenarioSupervisor)
 from repro.search.results import SearchReport
+from repro.telemetry.progress import ProgressLine
+from repro.telemetry.summary import summarize
+from repro.telemetry.tracer import NULL_SPAN, Tracer
 
 
 @dataclass
@@ -56,7 +59,10 @@ class SearchAlgorithm:
                  delta_snapshots: bool = False,
                  fault_plan: Optional[FaultPlan] = None,
                  watchdog_limit: Optional[int] = None,
-                 max_retries: int = 2) -> None:
+                 max_retries: int = 2,
+                 tracer: Optional[Tracer] = None,
+                 progress: Optional[ProgressLine] = None,
+                 log_events: bool = False) -> None:
         self.factory = factory
         self.seed = seed
         self.threshold = threshold or AttackThreshold()
@@ -66,6 +72,12 @@ class SearchAlgorithm:
         self.delta_snapshots = delta_snapshots
         self.fault_plan = fault_plan
         self.watchdog_limit = watchdog_limit
+        #: platform-side tracer shared with the harness (None: no tracing)
+        self.tracer = tracer
+        #: where this run's spans start in a (possibly shared) tracer
+        self._span_mark = tracer.mark() if tracer is not None else 0
+        self.progress = progress or ProgressLine()
+        self.log_events = log_events
         self.ledger = CostLedger()
         self.harness = self._fresh_harness()
         self.supervisor = ScenarioSupervisor(self.ledger,
@@ -82,7 +94,31 @@ class SearchAlgorithm:
                              delta_snapshots=self.delta_snapshots,
                              ledger=self.ledger,
                              fault_plan=self.fault_plan,
-                             watchdog_limit=self.watchdog_limit)
+                             watchdog_limit=self.watchdog_limit,
+                             tracer=self.tracer,
+                             log_events=self.log_events)
+
+    def _span(self, name: str, **args):
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer.span(name, **args)
+        return NULL_SPAN
+
+    def _progress_tick(self) -> None:
+        """Refresh the live status line (no-op unless progress is enabled)."""
+        progress = self.progress
+        if not progress.enabled:
+            return
+        report = self.report
+        evaluated = report.scenarios_evaluated if report is not None else 0
+        found = len(report.findings) if report is not None else 0
+        stats = self.supervisor.stats
+        total = self.ledger.total()
+        share = self.ledger.snapshot_total() / total if total else 0.0
+        text = (f"{evaluated} scenarios · {found} attacks · "
+                f"{stats.retries} retries · {stats.quarantines} quarantined"
+                f" · snapshots {share:.0%} of platform time")
+        progress.update(text)
 
     def _make_report(self) -> SearchReport:
         instance = self.harness.instance
@@ -94,6 +130,13 @@ class SearchAlgorithm:
     def _finalize_report(self, report: SearchReport) -> SearchReport:
         report.supervisor.merge(self.supervisor.stats)
         self.supervisor.stats = type(self.supervisor.stats)()
+        if self.tracer is not None and self.tracer.enabled:
+            world = (self.harness.instance.world
+                     if self.harness.instance is not None else None)
+            report.telemetry = summarize(
+                self.tracer,
+                world.instruments if world is not None else None,
+                since=self._span_mark)
         return report
 
     def _space(self) -> ActionSpace:
@@ -152,9 +195,11 @@ class SearchAlgorithm:
             baseline = self.harness.branch_measure(injection, None)
             return TypeContext(message_type, injection, baseline)
 
-        return self.supervisor.run(f"injection:{message_type}", attempt,
-                                   rebuild=self._rebuild_testbed,
-                                   scenario=message_type)
+        result = self.supervisor.run(f"injection:{message_type}", attempt,
+                                     rebuild=self._rebuild_testbed,
+                                     scenario=message_type)
+        self._progress_tick()
+        return result
 
     def _refresh_context(self, ctx: TypeContext) -> None:
         """Re-acquire a context after the testbed was rebuilt."""
@@ -188,8 +233,15 @@ class SearchAlgorithm:
         label = (f"{ctx.message_type}"
                  if action is None
                  else f"{action.describe()} {ctx.message_type}")
-        return self.supervisor.run(f"branch:{ctx.message_type}", attempt,
-                                   rebuild=rebuild, scenario=label)
+        with self._span("search.scenario", message_type=ctx.message_type,
+                        scenario=label) as span:
+            sample = self.supervisor.run(f"branch:{ctx.message_type}",
+                                         attempt, rebuild=rebuild,
+                                         scenario=label)
+            span.set(throughput=sample.throughput,
+                     crashed=sample.crashed_nodes)
+        self._progress_tick()
+        return sample
 
     @staticmethod
     def _quarantine_entry(quarantined: ScenarioQuarantined,
@@ -214,5 +266,23 @@ class SearchAlgorithm:
     # ------------------------------------------------------------------ run
 
     def run(self, message_types: Optional[Sequence[str]] = None,
-            exclude: Optional[Set[tuple]] = None) -> SearchReport:
+            exclude: Optional[Set[tuple]] = None,
+            **kwargs) -> SearchReport:
+        """Template method: one ``search.pass`` span around the algorithm.
+
+        Subclasses implement :meth:`_run_pass`; the wrapper exists so every
+        algorithm gets the same span (and its summary args) for free.
+        """
+        with self._span("search.pass", algorithm=self.name) as span:
+            report = self._run_pass(message_types=message_types,
+                                    exclude=exclude, **kwargs)
+            span.set(findings=len(report.findings),
+                     scenarios=report.scenarios_evaluated)
+        # Re-summarize now that the pass span itself has closed, so the
+        # report's telemetry includes it.
+        return self._finalize_report(report)
+
+    def _run_pass(self, message_types: Optional[Sequence[str]] = None,
+                  exclude: Optional[Set[tuple]] = None,
+                  **kwargs) -> SearchReport:
         raise NotImplementedError

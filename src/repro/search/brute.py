@@ -26,9 +26,9 @@ class BruteForceSearch(SearchAlgorithm):
 
     name = "brute-force"
 
-    def run(self, message_types: Optional[Sequence[str]] = None,
-            exclude: Optional[Set[tuple]] = None,
-            max_scenarios: Optional[int] = None) -> SearchReport:
+    def _run_pass(self, message_types: Optional[Sequence[str]] = None,
+                  exclude: Optional[Set[tuple]] = None,
+                  max_scenarios: Optional[int] = None) -> SearchReport:
         exclude = exclude or set()
 
         # One benign execution for the baseline.  Each attempt is already a
@@ -107,6 +107,7 @@ class BruteForceSearch(SearchAlgorithm):
                     q, scenario.message_type, scenario.action))
                 continue
             report.scenarios_evaluated += 1
+            self._progress_tick()
             if injected_at is None:
                 if scenario.message_type not in report.types_without_injection:
                     report.types_without_injection.append(scenario.message_type)

@@ -35,8 +35,8 @@ class GreedySearch(SearchAlgorithm):
         self.rounds = rounds
         self.confirmations = confirmations
 
-    def run(self, message_types: Optional[Sequence[str]] = None,
-            exclude: Optional[Set[tuple]] = None) -> SearchReport:
+    def _run_pass(self, message_types: Optional[Sequence[str]] = None,
+                  exclude: Optional[Set[tuple]] = None) -> SearchReport:
         exclude = exclude or set()
         try:
             self._start_run()

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.attacks.space import ActionSpaceConfig
 from repro.common.errors import ConfigError
+from repro.common.logging import LogRecord
 from repro.controller.costs import CostLedger
 from repro.controller.harness import TestbedFactory
 from repro.controller.monitor import AttackThreshold
@@ -38,6 +39,9 @@ from repro.controller.supervisor import (FaultPlan, QuarantinedScenario,
                                          SupervisorStats)
 from repro.search.results import AttackFinding, SearchReport
 from repro.search.weighted import ClusterWeights, WeightedGreedySearch
+from repro.telemetry.progress import ProgressLine
+from repro.telemetry.summary import TelemetrySummary, summarize
+from repro.telemetry.tracer import Tracer, maybe_span
 
 CHECKPOINT_VERSION = 1
 
@@ -57,6 +61,10 @@ class HuntResult:
     interrupted: bool = False
     #: number of passes restored from a checkpoint rather than executed
     resumed_passes: int = 0
+    #: merged telemetry across all executed passes (None: telemetry off)
+    telemetry: Optional[TelemetrySummary] = None
+    #: EventLog records gathered from each pass's world (``log_events``)
+    event_log: List[LogRecord] = field(default_factory=list)
 
     @property
     def total_time(self) -> float:
@@ -80,6 +88,8 @@ class HuntResult:
             lines.append("  " + self.supervisor.describe())
         for q in self.quarantined:
             lines.append("  " + q.describe())
+        if self.telemetry is not None:
+            lines.append("  " + self.telemetry.one_line())
         return "\n".join(lines)
 
 
@@ -139,6 +149,10 @@ def _restore_from_checkpoint(data: Dict, seed: int,
         result.findings.extend(report.findings)
         result.quarantined.extend(report.quarantined)
         result.supervisor.merge(report.supervisor)
+        if report.telemetry is not None:
+            if result.telemetry is None:
+                result.telemetry = TelemetrySummary()
+            result.telemetry.merge(report.telemetry)
     result.resumed_passes = len(result.passes)
 
 
@@ -157,15 +171,25 @@ def hunt(factory: TestbedFactory, seed: int = 0,
          watchdog_limit: Optional[int] = None,
          max_retries: int = 2,
          checkpoint_path: Optional[str] = None,
-         resume: bool = False) -> HuntResult:
+         resume: bool = False,
+         tracer: Optional[Tracer] = None,
+         progress: Optional[ProgressLine] = None,
+         log_events: bool = False) -> HuntResult:
     """Run weighted-greedy passes until a pass finds nothing new.
 
     The cluster weights persist across passes, so what pass 1 learned about
     effective action categories speeds up pass 2.  With ``checkpoint_path``
     the hunt state is persisted after every pass; ``resume=True`` restores
     it (when the file exists) and continues from the next pass.
+
+    Observability: ``tracer`` wraps each pass in a ``hunt.pass`` span and
+    merges per-pass telemetry summaries into ``result.telemetry``;
+    ``progress`` gets a ``pass N/M`` prefix and live updates from the pass;
+    ``log_events`` enables each pass's world EventLog, whose records are
+    collected into ``result.event_log``.
     """
     result = HuntResult()
+    progress = progress or ProgressLine()
     excluded: Set[tuple] = set(exclude or ())
     weights = ClusterWeights()
     system = "unknown"
@@ -180,7 +204,13 @@ def hunt(factory: TestbedFactory, seed: int = 0,
             if data.get("complete"):
                 return result  # campaign already converged; nothing to redo
 
-    for __ in range(result.resumed_passes, max_passes):
+    def collect_world_output(search: WeightedGreedySearch) -> None:
+        instance = search.harness.instance
+        if log_events and instance is not None:
+            result.event_log.extend(instance.world.log.records)
+
+    for pass_index in range(result.resumed_passes, max_passes):
+        progress.prefix = f"pass {pass_index + 1}/{max_passes} · "
         search = WeightedGreedySearch(factory, seed=seed,
                                       threshold=threshold,
                                       space_config=space_config,
@@ -189,11 +219,23 @@ def hunt(factory: TestbedFactory, seed: int = 0,
                                       delta_snapshots=delta_snapshots,
                                       fault_plan=fault_plan,
                                       watchdog_limit=watchdog_limit,
-                                      max_retries=max_retries)
+                                      max_retries=max_retries,
+                                      tracer=tracer, progress=progress,
+                                      log_events=log_events)
         try:
-            report = search.run(message_types=message_types, exclude=excluded)
+            with maybe_span(tracer, "hunt.pass",
+                            index=pass_index + 1) as span:
+                report = search.run(message_types=message_types,
+                                    exclude=excluded)
+                span.set(findings=len(report.findings))
+                pass_mark = tracer.mark() if tracer is not None else 0
+            if report.telemetry is not None and tracer is not None:
+                # the hunt.pass span closes after the pass summary was
+                # computed; fold it in so the merged totals include it
+                report.telemetry.merge(summarize(tracer, since=pass_mark))
         except KeyboardInterrupt:
             result.interrupted = True
+            collect_world_output(search)
             if checkpoint_path is not None:
                 save_checkpoint(checkpoint_path, system, seed, excluded,
                                 weights, result)
@@ -203,6 +245,11 @@ def hunt(factory: TestbedFactory, seed: int = 0,
         result.total_ledger.merge(report.ledger)
         result.quarantined.extend(report.quarantined)
         result.supervisor.merge(report.supervisor)
+        collect_world_output(search)
+        if report.telemetry is not None:
+            if result.telemetry is None:
+                result.telemetry = TelemetrySummary()
+            result.telemetry.merge(report.telemetry)
         for finding in report.findings:
             excluded.add(finding.scenario.to_record())
             result.findings.append(finding)

@@ -9,6 +9,7 @@ from repro.attacks.actions import AttackScenario
 from repro.controller.costs import CostLedger
 from repro.controller.monitor import PerfSample
 from repro.controller.supervisor import QuarantinedScenario, SupervisorStats
+from repro.telemetry.summary import TelemetrySummary
 
 
 @dataclass
@@ -55,6 +56,8 @@ class SearchReport:
     quarantined: List[QuarantinedScenario] = field(default_factory=list)
     #: retries, rebuilds, quarantines, watchdog trips + their event log
     supervisor: SupervisorStats = field(default_factory=SupervisorStats)
+    #: per-span-kind totals + instrument digest (None when telemetry is off)
+    telemetry: Optional[TelemetrySummary] = None
 
     @property
     def total_time(self) -> float:
@@ -78,4 +81,6 @@ class SearchReport:
         if self.supervisor.total_events:
             lines.append("  " + self.supervisor.describe())
         lines.extend("  " + q.describe() for q in self.quarantined)
+        if self.telemetry is not None:
+            lines.append("  " + self.telemetry.one_line())
         return "\n".join(lines)

@@ -79,8 +79,8 @@ class WeightedGreedySearch(SearchAlgorithm):
         super().__init__(*args, **kwargs)
         self.weights = weights or ClusterWeights()
 
-    def run(self, message_types: Optional[Sequence[str]] = None,
-            exclude: Optional[Set[tuple]] = None) -> SearchReport:
+    def _run_pass(self, message_types: Optional[Sequence[str]] = None,
+                  exclude: Optional[Set[tuple]] = None) -> SearchReport:
         exclude = exclude or set()
         try:
             self._start_run()

@@ -1,0 +1,125 @@
+"""Trace and event exporters: JSONL stream and Chrome trace-event format.
+
+One output path for everything the platform observes: tracer spans and
+:class:`~repro.common.logging.EventLog` records both serialize to JSONL
+lines here, and the tracer's raw begin/end stream renders to the Chrome
+``chrome://tracing`` / Perfetto trace-event JSON format (``ph`` B/E pairs,
+balanced by construction, with virtual timestamps attached as args).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.common.logging import LogRecord
+from repro.telemetry.tracer import Tracer
+
+#: Chrome trace-event phase names for the tracer's raw event kinds.
+_PHASES = {"B": "B", "E": "E", "I": "i"}
+
+
+# ----------------------------------------------------------------- Chrome
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Render the tracer's event stream as Chrome trace events.
+
+    Timestamps are wall-clock microseconds since the tracer's epoch (the
+    virtual clock rewinds at branch restores, which a trace viewer cannot
+    display); each event carries its virtual time in ``args.virtual_time``.
+    """
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+        "args": {"name": "repro platform"},
+    }]
+    for kind, name, virtual, wall, args in tracer.events:
+        event: Dict[str, Any] = {
+            "name": name,
+            "ph": _PHASES[kind],
+            "ts": (wall - tracer.epoch) * 1e6,
+            "pid": 1,
+            "tid": 1,
+            "args": {**args, "virtual_time": virtual},
+        }
+        if kind == "I":
+            event["s"] = "t"
+        events.append(event)
+    return events
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    return {"traceEvents": chrome_trace_events(tracer),
+            "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, tracer: Tracer) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh)
+
+
+# ------------------------------------------------------------------ JSONL
+
+def span_jsonl_records(tracer: Tracer,
+                       since: int = 0) -> Iterator[Dict[str, Any]]:
+    """Tracer spans as JSONL-ready dicts."""
+    for record in tracer.spans[since:]:
+        yield {
+            "type": record.phase,
+            "name": record.name,
+            "depth": record.depth,
+            "t0_virtual": record.t0_virtual,
+            "t1_virtual": record.t1_virtual,
+            "wall_duration": record.wall_duration,
+            "args": dict(record.args),
+        }
+
+
+def log_jsonl_records(records: Sequence[LogRecord],
+                      filter_spec: Optional[str] = None
+                      ) -> Iterator[Dict[str, Any]]:
+    """EventLog records as JSONL-ready dicts, optionally filtered.
+
+    ``filter_spec`` is ``None``/``"*"`` for everything, or a comma list of
+    ``component`` or ``component:event`` selectors
+    (e.g. ``"netem,node:crash"``).
+    """
+    selectors = None
+    if filter_spec and filter_spec != "*":
+        selectors = []
+        for part in filter_spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            component, __, event = part.partition(":")
+            selectors.append((component, event or None))
+    for record in records:
+        if selectors is not None:
+            if not any(record.component == component
+                       and (event is None or record.event == event)
+                       for component, event in selectors):
+                continue
+        yield {
+            "type": "log",
+            "t": record.time,
+            "component": record.component,
+            "event": record.event,
+            "details": {k: _jsonable(v) for k, v in record.details.items()},
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_jsonl(fh_or_path, records: Iterable[Dict[str, Any]]) -> int:
+    """Write dicts one-per-line; returns the number of lines written."""
+    if isinstance(fh_or_path, str):
+        with open(fh_or_path, "w") as fh:
+            return write_jsonl(fh, records)
+    count = 0
+    for record in records:
+        fh_or_path.write(json.dumps(record, sort_keys=True) + "\n")
+        count += 1
+    return count

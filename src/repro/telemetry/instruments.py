@@ -1,0 +1,177 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+The registry is built for the platform's hot paths: every recording method
+starts with one ``enabled`` check, so a disabled registry costs a branch and
+nothing else — no allocation, no dict lookup, no formatting.  Instruments
+are identified by dotted names (``kernel.events``, ``netem.messages_sent``)
+and created lazily on first touch.
+
+Registry state is plain data (:meth:`InstrumentRegistry.save_state` /
+:meth:`load_state`) and participates in world checkpoint/restore: when the
+controller branches an execution, each branch resumes from the instrument
+values the world had at the snapshot, exactly like
+:class:`~repro.metrics.collector.MetricsCollector` events.  Instrument
+values therefore describe *the current timeline*, while the
+:class:`~repro.telemetry.tracer.Tracer` (which is never rewound) describes
+what the platform did across all branches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Geometric bucket ladder spanning sub-millisecond latencies to large
+#: event counts (1e-4 .. 5e3); values outside fall into min/max-clamped
+#: edge buckets.  Fixed buckets keep observation O(len(bounds)) with no
+#: per-sample storage, which is what makes always-on histograms affordable.
+DEFAULT_BOUNDS: Tuple[float, ...] = tuple(
+    m * (10.0 ** e) for e in range(-4, 4) for m in (1.0, 2.5, 5.0))
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max and percentiles."""
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimate the p-th percentile by interpolating within a bucket.
+
+        Bucket edges are clamped to the observed min/max, so small samples
+        do not report values never seen.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = (p / 100.0) * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if bucket_count and cumulative >= rank:
+                lo = self.bounds[i - 1] if i > 0 else self.min
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi < lo:
+                    hi = lo
+                fraction = (rank - (cumulative - bucket_count)) / bucket_count
+                return lo + (hi - lo) * max(0.0, min(1.0, fraction))
+        return self.max
+
+    # ------------------------------------------------------------- snapshot
+
+    def save_state(self) -> dict:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "count": self.count, "total": self.total,
+                "min": self.min, "max": self.max}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Histogram":
+        hist = cls(state["bounds"])
+        hist.counts = list(state["counts"])
+        hist.count = state["count"]
+        hist.total = state["total"]
+        hist.min = state["min"]
+        hist.max = state["max"]
+        return hist
+
+
+class InstrumentRegistry:
+    """Named counters, gauges, and histograms with one on/off switch."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        #: configuration, not state: snapshot restore never flips this
+        self.enabled = enabled
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ----------------------------------------------------------------- write
+
+    def count(self, name: str, n: float = 1) -> None:
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float,
+                bounds: Optional[Sequence[float]] = None) -> None:
+        if not self.enabled:
+            return
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(bounds or DEFAULT_BOUNDS)
+        hist.observe(value)
+
+    # ------------------------------------------------------------------ read
+
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def counter_value(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -------------------------------------------------------------- snapshot
+
+    def save_state(self) -> dict:
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {name: h.save_state()
+                           for name, h in self._histograms.items()},
+        }
+
+    def load_state(self, state: Optional[dict]) -> None:
+        self.clear()
+        if not state:
+            return
+        self._counters.update(state["counters"])
+        self._gauges.update(state["gauges"])
+        for name, hist_state in state["histograms"].items():
+            self._histograms[name] = Histogram.from_state(hist_state)

@@ -1,0 +1,45 @@
+"""Live one-line progress reporting on stderr.
+
+Long searches and hunts used to be silent until the final report.  A
+:class:`ProgressLine` rewrites a single stderr line (``\\r``-style) with
+the campaign's vital signs — pass N/M, scenarios evaluated, retries and
+quarantines, snapshot-time share — and erases itself when done, so piped
+stdout output (reports, JSON, JSONL) stays clean.
+
+Disabled lines (the default when stderr is not a terminal) cost one
+attribute check per update.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+
+class ProgressLine:
+    """A self-overwriting status line; no-op unless enabled."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 enabled: bool = False) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        #: text prepended to every update (the hunt sets "pass N/M · ")
+        self.prefix = ""
+        self._last_width = 0
+
+    def update(self, text: str) -> None:
+        if not self.enabled:
+            return
+        line = self.prefix + text
+        pad = max(0, self._last_width - len(line))
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+        self._last_width = len(line)
+
+    def done(self) -> None:
+        """Erase the line (if one was drawn) and return the cursor."""
+        if not self.enabled or self._last_width == 0:
+            return
+        self.stream.write("\r" + " " * self._last_width + "\r")
+        self.stream.flush()
+        self._last_width = 0

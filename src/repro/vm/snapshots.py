@@ -94,6 +94,13 @@ class ClusterSnapshot:
             total += self.shared_map.stored_bytes()
         return total
 
+    def page_counts(self) -> Dict[str, int]:
+        """Table-II-style page breakdown: total, KSM-shared refs, private."""
+        total = sum(len(s.records) for s in self.vm_snapshots)
+        shared = sum(s.shared_refs() for s in self.vm_snapshots)
+        return {"pages_total": total, "pages_shared": shared,
+                "pages_private": total - shared}
+
     @property
     def vm_count(self) -> int:
         return len(self.vm_snapshots)
@@ -124,6 +131,13 @@ class DeltaClusterSnapshot:
 
     def stored_bytes(self) -> int:
         return sum(d.stored_bytes() for d in self.vm_deltas)
+
+    def page_counts(self) -> Dict[str, int]:
+        """Delta breakdown: pages re-stored vs dropped relative to the base."""
+        return {
+            "pages_changed": sum(len(d.changed) for d in self.vm_deltas),
+            "pages_removed": sum(len(d.removed) for d in self.vm_deltas),
+        }
 
     @property
     def vm_count(self) -> int:
