@@ -16,6 +16,7 @@ from repro.controller.costs import CostLedger
 from repro.controller.monitor import PerfSample
 from repro.controller.supervisor import (QuarantinedScenario,
                                          SupervisorEvent, SupervisorStats)
+from repro.faults.validation import ValidationReport
 from repro.search.results import AttackFinding, SearchReport
 from repro.telemetry.summary import TelemetrySummary
 
@@ -33,6 +34,7 @@ def _sample_to_dict(sample: PerfSample) -> Dict[str, Any]:
         "latency_p50": sample.latency_p50,
         "latency_p95": sample.latency_p95,
         "latency_p99": sample.latency_p99,
+        "completed": sample.completed,
     }
 
 
@@ -43,7 +45,8 @@ def _sample_from_dict(data: Dict[str, Any]) -> PerfSample:
                       # .get: samples serialized before percentiles existed
                       data.get("latency_p50", 0.0),
                       data.get("latency_p95", 0.0),
-                      data.get("latency_p99", 0.0))
+                      data.get("latency_p99", 0.0),
+                      data.get("completed", 0))
 
 
 def _finding_to_dict(finding: AttackFinding) -> Dict[str, Any]:
@@ -151,6 +154,9 @@ def report_to_dict(report: SearchReport) -> Dict[str, Any]:
         "supervisor": _supervisor_to_dict(report.supervisor),
         "telemetry": (None if report.telemetry is None
                       else report.telemetry.to_dict()),
+        "crashed_nodes": list(report.crashed_nodes),
+        "validation": (None if report.validation is None
+                       else report.validation.to_dict()),
     }
 
 
@@ -170,6 +176,9 @@ def report_from_dict(data: Dict[str, Any]) -> SearchReport:
         supervisor=_supervisor_from_dict(data.get("supervisor", {})),
         telemetry=(TelemetrySummary.from_dict(data["telemetry"])
                    if data.get("telemetry") else None),
+        crashed_nodes=list(data.get("crashed_nodes", [])),
+        validation=(ValidationReport.from_dict(data["validation"])
+                    if data.get("validation") else None),
     )
     return report
 
@@ -189,7 +198,71 @@ def excluded_scenarios(report: SearchReport) -> set:
     return {f.scenario.to_record() for f in report.findings}
 
 
+# ---------------------------------------------------------------- hunt result
+
+def hunt_result_to_dict(result) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.search.hunt.HuntResult` to plain JSON.
+
+    The per-pass event logs are not serialized (they are debugging
+    artifacts, exported separately); everything else round-trips.
+    """
+    return {
+        "passes": [report_to_dict(p) for p in result.passes],
+        "ledger": dict(result.total_ledger.by_category),
+        "quarantined": [_quarantine_to_dict(q) for q in result.quarantined],
+        "supervisor": _supervisor_to_dict(result.supervisor),
+        "interrupted": result.interrupted,
+        "resumed_passes": result.resumed_passes,
+        "telemetry": (None if result.telemetry is None
+                      else result.telemetry.to_dict()),
+        "crashed_nodes": result.crashed_nodes(),
+        "validation": (None if result.validation is None
+                       else result.validation.to_dict()),
+    }
+
+
+def hunt_result_from_dict(data: Dict[str, Any]):
+    from repro.search.hunt import HuntResult
+    result = HuntResult(
+        passes=[report_from_dict(p) for p in data["passes"]],
+        total_ledger=CostLedger(dict(data["ledger"])),
+        quarantined=[_quarantine_from_dict(q)
+                     for q in data.get("quarantined", [])],
+        supervisor=_supervisor_from_dict(data.get("supervisor", {})),
+        interrupted=data.get("interrupted", False),
+        resumed_passes=data.get("resumed_passes", 0),
+        telemetry=(TelemetrySummary.from_dict(data["telemetry"])
+                   if data.get("telemetry") else None),
+        validation=(ValidationReport.from_dict(data["validation"])
+                    if data.get("validation") else None),
+    )
+    for report in result.passes:
+        result.findings.extend(report.findings)
+    return result
+
+
 # ----------------------------------------------------------------- rendering
+
+def _validation_lines(validation: ValidationReport) -> list:
+    lines = [
+        "",
+        "## Robustness validation",
+        "",
+        f"* environments: {validation.environments} "
+        f"(seed {validation.seed}, Δ = {validation.delta:.0%})",
+        f"* validation platform time: {validation.platform_time:.1f} s",
+        "",
+        "| attack | robustness | sustained | ambient noise |",
+        "|---|---|---|---|",
+    ]
+    for result in validation.results:
+        sustained = sum(1 for e in result.environments if e.sustained)
+        lines.append(
+            f"| {result.name} | {result.score:.0%} "
+            f"| {sustained}/{len(result.environments)} "
+            f"| {result.mean_benign_degradation:.0%} |")
+    return lines
+
 
 def render_markdown(report: SearchReport) -> str:
     lines = [
@@ -218,6 +291,10 @@ def render_markdown(report: SearchReport) -> str:
                 f"| {f.crashes} | {f.found_at:.1f} |")
     else:
         lines.append("_No attacks found._")
+    if report.crashed_nodes:
+        lines.append("")
+        lines.append("* crashed nodes: "
+                     + ", ".join(f"`{n}`" for n in report.crashed_nodes))
     stats = report.supervisor
     if stats.total_events or report.quarantined:
         lines.append("")
@@ -250,4 +327,44 @@ def render_markdown(report: SearchReport) -> str:
             lines.append("|---|---|")
             for name in sorted(telemetry.counters):
                 lines.append(f"| {name} | {telemetry.counters[name]:g} |")
+    if report.validation is not None:
+        lines.extend(_validation_lines(report.validation))
+    return "\n".join(lines)
+
+
+def render_hunt_markdown(result) -> str:
+    """Markdown rendering of a full multi-pass hunt."""
+    system = result.passes[0].system if result.passes else "unknown"
+    status = " (interrupted)" if result.interrupted else ""
+    lines = [
+        f"# hunt on {system}{status}",
+        "",
+        f"* attacks found: **{len(result.findings)}** over "
+        f"{len(result.passes)} passes",
+        f"* platform time: {result.total_time:.1f} s "
+        f"({result.total_ledger.describe()})",
+    ]
+    crashed = result.crashed_nodes()
+    if crashed:
+        lines.append("* crashed nodes: "
+                     + ", ".join(f"`{n}`" for n in crashed))
+    lines.append("")
+    if result.findings:
+        lines.append("| attack | baseline | attacked | damage | crashes |")
+        lines.append("|---|---|---|---|---|")
+        for f in result.findings:
+            lines.append(
+                f"| {f.name} | {f.baseline.throughput:.1f} "
+                f"| {f.attacked.throughput:.1f} | {f.damage:.0%} "
+                f"| {f.crashes} |")
+    else:
+        lines.append("_No attacks found._")
+    if result.quarantined:
+        lines.append("")
+        lines.append("## Quarantined scenarios")
+        lines.append("")
+        for q in result.quarantined:
+            lines.append(f"* {q.describe()}")
+    if result.validation is not None:
+        lines.extend(_validation_lines(result.validation))
     return "\n".join(lines)

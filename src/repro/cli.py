@@ -44,6 +44,36 @@ def _fault_plan(args) -> Optional[FaultPlan]:
     return FaultPlan.from_spec(args.inject_faults, seed=args.seed)
 
 
+def _fault_schedule(args):
+    """Load the environmental fault schedule named by --faults, if any."""
+    path = getattr(args, "faults", None)
+    if path is None:
+        return None
+    from repro.common.errors import ConfigError
+    from repro.faults.schedule import FaultSchedule
+    try:
+        return FaultSchedule.from_file(path)
+    except OSError as exc:
+        raise ConfigError(f"cannot read fault schedule {path}: {exc}")
+    except ValueError as exc:  # includes json.JSONDecodeError
+        raise ConfigError(f"malformed fault schedule {path}: {exc}")
+
+
+def _validate(args, factory, findings):
+    """Run --validate N robustness scoring over a run's findings."""
+    environments = getattr(args, "validate", 0) or 0
+    if environments <= 0 or not findings:
+        return None
+    from repro.faults.validation import validate_findings
+    print(f"validating {len(findings)} findings under "
+          f"{environments} perturbed environments...")
+    return validate_findings(
+        factory, findings,
+        threshold=AttackThreshold(delta=args.delta),
+        environments=environments, seed=args.seed, base_seed=args.seed,
+        max_wait=getattr(args, "max_wait", None))
+
+
 def _tracer(args) -> Optional[Tracer]:
     """One platform tracer for the command, on when any consumer wants it."""
     trace_path = getattr(args, "trace", None)
@@ -115,7 +145,8 @@ def _harness(args) -> AttackHarness:
     factory = entry.build(role, args.warmup, args.window)
     return AttackHarness(factory, seed=args.seed,
                          threshold=AttackThreshold(delta=args.delta),
-                         delta_snapshots=args.delta_snapshots)
+                         delta_snapshots=args.delta_snapshots,
+                         fault_schedule=_fault_schedule(args))
 
 
 def cmd_systems(args) -> int:
@@ -205,6 +236,7 @@ def cmd_search(args) -> int:
                  shared_pages=not args.no_shared_pages,
                  delta_snapshots=args.delta_snapshots,
                  fault_plan=_fault_plan(args),
+                 fault_schedule=_fault_schedule(args),
                  watchdog_limit=args.watchdog,
                  max_retries=args.max_retries,
                  tracer=tracer, progress=progress,
@@ -238,6 +270,7 @@ def cmd_search(args) -> int:
                         search_log_records())
         return EXIT_INTERRUPTED
     progress.done()
+    report.validation = _validate(args, factory, report.findings)
     print(report.describe())
     _emit_telemetry(args, tracer, report.telemetry, search_log_records())
     if args.json:
@@ -277,6 +310,7 @@ def cmd_hunt(args) -> int:
                   shared_pages=not args.no_shared_pages,
                   delta_snapshots=args.delta_snapshots,
                   fault_plan=_fault_plan(args),
+                  fault_schedule=_fault_schedule(args),
                   watchdog_limit=args.watchdog,
                   max_retries=args.max_retries,
                   checkpoint_path=args.checkpoint,
@@ -284,10 +318,21 @@ def cmd_hunt(args) -> int:
                   tracer=tracer, progress=progress,
                   log_events=args.log_events is not None)
     progress.done()
+    if not result.interrupted:
+        result.validation = _validate(args, factory, result.findings)
     print(result.describe())
     for finding in result.findings:
         print("  " + finding.describe())
     _emit_telemetry(args, tracer, result.telemetry, result.event_log)
+    if args.json:
+        import json as json_module
+        from repro.analysis.reports import hunt_result_to_dict
+        with open(args.json, "w") as fh:
+            json_module.dump(hunt_result_to_dict(result), fh, indent=2)
+        print(f"\nresult written to {args.json}")
+    if args.markdown:
+        from repro.analysis.reports import render_hunt_markdown
+        print("\n" + render_hunt_markdown(result))
     if result.interrupted:
         if args.checkpoint:
             print(f"checkpoint written to {args.checkpoint}; "
@@ -318,6 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="damage fraction that counts as an attack")
         p.add_argument("--delta-snapshots", action="store_true",
                        help="use incremental snapshots at injection points")
+        p.add_argument("--faults", default=None, metavar="FILE",
+                       help="JSON FaultSchedule perturbing the emulated "
+                            "environment (link loss/corruption/jitter, "
+                            "flaps, partitions, node crash/restart/slow)")
         if with_role:
             p.add_argument("--malicious", default=None,
                            help="which role the proxy controls")
@@ -387,6 +436,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON report whose findings to exclude (hunt passes)")
     p.add_argument("--allow-empty", action="store_true",
                    help="exit 0 even when nothing was found")
+    p.add_argument("--validate", type=int, default=0, metavar="N",
+                   help="re-measure each finding under N seeded perturbed "
+                        "environments and report a robustness score")
 
     p = sub.add_parser("hunt", help="repeat weighted-greedy passes until "
                                     "no new attacks are found")
@@ -403,6 +455,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persist hunt state to PATH after every pass")
     p.add_argument("--resume", action="store_true",
                    help="resume an interrupted hunt from --checkpoint")
+    p.add_argument("--json", default=None,
+                   help="write the hunt result as JSON")
+    p.add_argument("--markdown", action="store_true",
+                   help="also print a markdown report")
+    p.add_argument("--validate", type=int, default=0, metavar="N",
+                   help="re-measure each finding under N seeded perturbed "
+                        "environments and report a robustness score")
     return parser
 
 

@@ -78,6 +78,7 @@ class AttackHarness:
                  delta_snapshots: bool = False,
                  ledger: Optional[CostLedger] = None,
                  fault_plan: Optional[FaultPlan] = None,
+                 fault_schedule=None,
                  watchdog_limit: Optional[int] = None,
                  tracer: Optional[Tracer] = None,
                  log_events: bool = False) -> None:
@@ -91,6 +92,9 @@ class AttackHarness:
         self.ledger = ledger or CostLedger()
         #: deterministic platform fault injection (None: no faults)
         self.fault_plan = fault_plan
+        #: environmental fault schedule armed on every testbed before
+        #: warmup (chaos layer; None: a pristine environment)
+        self.fault_schedule = fault_schedule
         #: events-per-window cap installed on each instance's kernel
         self.watchdog_limit = watchdog_limit
         #: platform-side tracer (never rewound by restores); None disables
@@ -135,6 +139,14 @@ class AttackHarness:
             boot_time = world.boot()
             span.set(boot_time=boot_time, nodes=len(world.nodes))
         self.ledger.charge(BOOT, boot_time)
+        if self.fault_schedule is not None and not self.fault_schedule.empty:
+            # Arm the chaos layer before warmup so the warm snapshot — and
+            # everything branched from it — lives inside the perturbed
+            # environment, with pending fault events in injector state.
+            from repro.faults.injector import FaultInjector
+            injector = FaultInjector(world, self.fault_schedule)
+            world.install_fault_injector(injector)
+            injector.arm()
         self.snapshotter = DistributedSnapshotter(
             world, shared_pages=self.shared_pages,
             fault_plan=self.fault_plan, tracer=self.tracer)

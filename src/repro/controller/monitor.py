@@ -31,14 +31,26 @@ class PerfSample:
     latency_p50: float = 0.0
     latency_p95: float = 0.0
     latency_p99: float = 0.0
+    #: completed updates in the window; 0 makes an empty window explicit
+    #: (all latency fields are then defined as 0.0, not NaN)
+    completed: int = 0
 
     @property
     def window(self) -> float:
         return self.end - self.start
 
+    @property
+    def empty(self) -> bool:
+        """True when no update completed in the window (e.g. a full
+        partition starved every client); all rate/latency fields are 0."""
+        return self.completed == 0
+
     def describe(self) -> str:
-        out = (f"{self.throughput:.2f} upd/s, "
-               f"lat {self.latency_avg * 1000:.2f} ms")
+        if self.empty and self.throughput == 0.0:
+            out = "0.00 upd/s (empty window)"
+        else:
+            out = (f"{self.throughput:.2f} upd/s, "
+                   f"lat {self.latency_avg * 1000:.2f} ms")
         if self.latency_p95:
             out += f" (p95 {self.latency_p95 * 1000:.2f} ms)"
         if self.crashed_nodes:
@@ -56,7 +68,13 @@ class AttackThreshold:
     crash_is_attack: bool = True
 
     def damage(self, baseline: PerfSample, sample: PerfSample) -> float:
-        """Relative throughput degradation (1.0 = total loss)."""
+        """Relative throughput degradation (1.0 = total loss).
+
+        Defined for every input: a zero-throughput baseline (an empty
+        measurement window — e.g. the environment fully partitioned the
+        clients) never divides by zero; damage is then 0 unless the sample
+        crashed additional nodes, since no throughput existed to destroy.
+        """
         if baseline.throughput <= 0:
             return 1.0 if sample.crashed_nodes > baseline.crashed_nodes else 0.0
         loss = (baseline.throughput - sample.throughput) / baseline.throughput
@@ -77,8 +95,14 @@ class PerformanceMonitor:
 
     def sample(self, start: float, end: float,
                crashed_nodes: int = 0) -> PerfSample:
+        """Sample one window.  Well-defined on empty windows: when nothing
+        completed (a full partition, every client crashed, an inverted
+        window), every rate/latency field is exactly 0.0 and ``completed``
+        is 0 — never NaN, never a division error."""
+        from repro.metrics.collector import UPDATE_DONE
         throughput = self.metrics.throughput(start, end)
         lat_min, lat_avg, lat_max = self.metrics.latency_stats(start, end)
         p50, p95, p99 = self.metrics.latency_percentiles(start, end)
+        completed = self.metrics.count_in(UPDATE_DONE, start, end)
         return PerfSample(start, end, throughput, lat_min, lat_avg, lat_max,
-                          crashed_nodes, p50, p95, p99)
+                          crashed_nodes, p50, p95, p99, completed)

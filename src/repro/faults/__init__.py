@@ -1,0 +1,26 @@
+"""Deterministic chaos layer: environmental faults for the emulated world.
+
+Everything here perturbs the *system under test's environment* — links
+that lose, corrupt, reorder, flap, or partition, and benign replicas that
+crash, restart, or slow down — as opposed to the supervision layer's
+:class:`~repro.controller.supervisor.FaultPlan`, which injects faults into
+the platform itself.  All fault behaviour is seeded and serializable, so
+execution branching over a faulty environment stays bit-deterministic.
+
+The robustness validator (:func:`repro.faults.validation.validate_findings`)
+is not re-exported here: it sits above the controller, and importing it
+from this package (which the emulator imports for its fault models) would
+create an import cycle.
+"""
+
+from repro.faults.models import (ANY_PATH, GilbertElliott, LinkFaultBank,
+                                 PathFaults, path_key)
+from repro.faults.schedule import (FaultEvent, FaultSchedule,
+                                   RECOVERY_FRESH, RECOVERY_SNAPSHOT)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "ANY_PATH", "GilbertElliott", "LinkFaultBank", "PathFaults", "path_key",
+    "FaultEvent", "FaultSchedule", "RECOVERY_FRESH", "RECOVERY_SNAPSHOT",
+    "FaultInjector",
+]

@@ -1,0 +1,210 @@
+"""Serializable fault-state models for the network emulator.
+
+Turret's emulated links were originally perfect: the emulator's admission
+comment said device overflow was "the only loss".  Real substrates are not
+— the paper's NS3 network experiences bursty loss, corrupted frames, and
+partitions — so this module provides the small, deterministic state
+machines the emulator consults on every packet admission:
+
+* :class:`GilbertElliott` — the classic two-state bursty-loss chain.  All
+  randomness is drawn from a named :class:`~repro.common.rng.RandomStream`
+  owned by the world's registry, and the chain state itself serializes, so
+  snapshot branching replays identical loss patterns bit-for-bit.
+* :class:`PathFaults` — the per-path knobs (loss chain, corruption rate,
+  reorder jitter).
+* :class:`LinkFaultBank` — the emulator-resident collection, keyed by
+  directed path (``"replica0>replica1"``) with a ``"*"`` wildcard, with
+  ``save_state``/``load_state`` hooks folded into the emulator snapshot.
+
+Link *connectivity* faults (down links, partitions) live on the topology
+(:meth:`repro.netem.topology.Topology.set_link_down` and friends) because
+they are properties of the graph, not of a single path's error process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RandomStream
+
+#: wildcard path key matching every (src, dst) pair
+ANY_PATH = "*"
+
+
+def path_key(src: str, dst: str) -> str:
+    """Directed path key used by :class:`LinkFaultBank` (``"a>b"``)."""
+    return f"{src}>{dst}"
+
+
+@dataclass
+class GilbertElliott:
+    """Two-state Markov loss chain (Gilbert–Elliott model).
+
+    In the *good* state packets are lost with probability ``loss_good``
+    (usually 0); in the *bad* state with ``loss_bad`` (usually 1, i.e. a
+    full burst).  Each :meth:`step` first draws the state transition, then
+    the loss outcome — a fixed draw order, so the number of RNG draws per
+    packet depends only on the configuration, never on the random outcome.
+    That keeps replayed branches consuming the stream identically.
+    """
+
+    p_enter_bad: float
+    p_exit_bad: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+    #: current chain state; serialized so restores resume mid-burst
+    bad: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("p_enter_bad", "p_exit_bad", "loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(
+                    f"GilbertElliott.{name} must be in [0, 1], got {value}")
+
+    def step(self, rng: RandomStream) -> bool:
+        """Advance the chain one packet; return True when it is lost."""
+        if self.bad:
+            if rng.random() < self.p_exit_bad:
+                self.bad = False
+        else:
+            if rng.random() < self.p_enter_bad:
+                self.bad = True
+        loss = self.loss_bad if self.bad else self.loss_good
+        # Always burn exactly one draw for the loss outcome so the stream
+        # position is a pure function of packets seen, not of chain state.
+        return rng.random() < loss
+
+    def save_state(self) -> Tuple:
+        return (self.p_enter_bad, self.p_exit_bad,
+                self.loss_good, self.loss_bad, self.bad)
+
+    def load_state(self, state: Tuple) -> None:
+        (self.p_enter_bad, self.p_exit_bad,
+         self.loss_good, self.loss_bad, self.bad) = state
+
+    @classmethod
+    def from_state(cls, state: Tuple) -> "GilbertElliott":
+        model = cls(0.0, 1.0)
+        model.load_state(tuple(state))
+        return model
+
+
+@dataclass
+class PathFaults:
+    """Fault configuration for one directed path (or the wildcard).
+
+    ``corrupt_rate`` packets are delivered to the destination host but
+    dropped there by the receive-side checksum — a distinct failure mode
+    (and counter) from queue overflow.  ``jitter`` adds a uniform random
+    extra delay in ``[0, jitter]`` seconds to each surviving packet, which
+    reorders packets whose nominal arrivals are closer than the jitter.
+    """
+
+    loss: Optional[GilbertElliott] = None
+    corrupt_rate: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.corrupt_rate <= 1.0:
+            raise ConfigError(
+                f"corrupt_rate must be in [0, 1], got {self.corrupt_rate}")
+        if self.jitter < 0.0:
+            raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
+
+    def evaluate(self, rng: RandomStream) -> Tuple[bool, bool, float]:
+        """One packet through this path: (lost, corrupted, extra_delay).
+
+        Draw order is fixed (loss chain, then corruption, then jitter) and
+        every configured stage draws exactly once per packet regardless of
+        earlier outcomes, so the RNG stream advances deterministically.
+        """
+        lost = self.loss.step(rng) if self.loss is not None else False
+        corrupted = (rng.random() < self.corrupt_rate
+                     if self.corrupt_rate > 0.0 else False)
+        extra = rng.uniform(0.0, self.jitter) if self.jitter > 0.0 else 0.0
+        if lost:
+            return True, False, 0.0
+        return False, corrupted, extra
+
+    def save_state(self) -> Dict:
+        return {
+            "loss": None if self.loss is None else self.loss.save_state(),
+            "corrupt_rate": self.corrupt_rate,
+            "jitter": self.jitter,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "PathFaults":
+        loss = state.get("loss")
+        return cls(
+            loss=None if loss is None else GilbertElliott.from_state(loss),
+            corrupt_rate=state.get("corrupt_rate", 0.0),
+            jitter=state.get("jitter", 0.0))
+
+
+class LinkFaultBank:
+    """All per-path fault processes installed on one emulator.
+
+    Entries are keyed by directed path (``path_key(src, dst)``) or the
+    ``"*"`` wildcard.  A packet is evaluated against the specific entry
+    first, then the wildcard, in that fixed order; the first stage to lose
+    the packet wins, corruption flags OR together, and jitter adds up.
+    """
+
+    def __init__(self) -> None:
+        self._paths: Dict[str, PathFaults] = {}
+
+    @property
+    def active(self) -> bool:
+        return bool(self._paths)
+
+    def set_path(self, key: str, faults: PathFaults) -> None:
+        self._paths[key] = faults
+
+    def clear_path(self, key: str) -> None:
+        self._paths.pop(key, None)
+
+    def clear(self) -> None:
+        self._paths.clear()
+
+    def get(self, key: str) -> Optional[PathFaults]:
+        return self._paths.get(key)
+
+    def _matching(self, src: str, dst: str) -> List[PathFaults]:
+        matches = []
+        specific = self._paths.get(path_key(src, dst))
+        if specific is not None:
+            matches.append(specific)
+        wildcard = self._paths.get(ANY_PATH)
+        if wildcard is not None:
+            matches.append(wildcard)
+        return matches
+
+    def evaluate(self, src: str, dst: str,
+                 rng: RandomStream) -> Tuple[bool, bool, float]:
+        """Evaluate every matching fault process for one packet.
+
+        Returns (lost, corrupted, extra_delay).  Every matching entry is
+        stepped even after an earlier one already lost the packet, so the
+        RNG draw count per packet is independent of outcomes.
+        """
+        lost = False
+        corrupted = False
+        extra = 0.0
+        for entry in self._matching(src, dst):
+            e_lost, e_corrupt, e_extra = entry.evaluate(rng)
+            lost = lost or e_lost
+            corrupted = corrupted or e_corrupt
+            extra += e_extra
+        return lost, corrupted, extra
+
+    def save_state(self) -> Dict:
+        return {key: faults.save_state()
+                for key, faults in sorted(self._paths.items())}
+
+    def load_state(self, state: Dict) -> None:
+        self._paths = {key: PathFaults.from_state(entry)
+                       for key, entry in state.items()}

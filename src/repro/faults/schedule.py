@@ -1,0 +1,184 @@
+"""Declarative, seeded fault schedules.
+
+A :class:`FaultSchedule` is the chaos-layer counterpart of the supervision
+layer's :class:`~repro.controller.supervisor.FaultPlan`: the FaultPlan
+injects faults into the *platform* (snapshots, proxy, boot) to test the
+controller's resilience, while a FaultSchedule perturbs the *emulated
+environment* — the network links and the benign replicas of the system
+under test.  Schedules are plain data with a JSON round-trip, so one
+environment can be pinned in a file, shared, and replayed exactly
+(``python -m repro hunt pbft --faults chaos.json``).
+
+Times are relative to the moment the harness arms the schedule (just after
+boot, before warmup), so one schedule file applies to testbeds with any
+warmup/window configuration.  Determinism: a schedule is pure data; every
+random fault decision (loss draws, corruption draws, jitter) is made at
+packet time from an RNG stream derived from the schedule's ``seed``, and
+:meth:`perturbation` derives whole environments from a seed, which is what
+the robustness validator uses to build its M perturbed environments.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RandomStream
+
+SCHEDULE_VERSION = 1
+
+#: event kinds targeting a network path (``path`` param, default ``"*"``)
+PATH_KINDS = ("loss", "corrupt", "jitter", "clear_path")
+#: event kinds targeting a link or the whole graph
+LINK_KINDS = ("link_down", "link_up", "flap", "partition", "heal")
+#: event kinds targeting one node of the system under test
+NODE_KINDS = ("crash", "restart", "slow")
+
+ALL_KINDS = PATH_KINDS + LINK_KINDS + NODE_KINDS
+
+#: recovery policies for crash/restart events
+RECOVERY_FRESH = "fresh"        # rebuild the app from its testbed factory
+RECOVERY_SNAPSHOT = "snapshot"  # restore the app state captured at crash
+RECOVERY_POLICIES = (RECOVERY_FRESH, RECOVERY_SNAPSHOT)
+
+
+@dataclass
+class FaultEvent:
+    """One scheduled environmental fault.
+
+    ``at`` is seconds after the schedule is armed.  ``params`` depend on
+    the kind:
+
+    * ``loss`` — ``path``, ``p_enter_bad``, ``p_exit_bad``, ``loss_good``,
+      ``loss_bad`` (Gilbert–Elliott bursty loss)
+    * ``corrupt`` — ``path``, ``rate``
+    * ``jitter`` — ``path``, ``jitter`` (seconds)
+    * ``clear_path`` — ``path`` (remove that path's fault processes)
+    * ``link_down`` / ``link_up`` — ``a``, ``b`` (host names)
+    * ``flap`` — ``a``, ``b``, ``down_for`` (down at ``at``, back up at
+      ``at + down_for``)
+    * ``partition`` — ``groups`` (list of host-name lists), optional
+      ``heal_after``
+    * ``heal`` — no params
+    * ``crash`` — ``node``, optional ``restart_after`` + ``recovery``
+      (``"fresh"`` or ``"snapshot"``)
+    * ``restart`` — ``node``, optional ``recovery``
+    * ``slow`` — ``node``, ``factor``, optional ``duration`` (back to 1.0
+      after)
+    """
+
+    kind: str
+    at: float
+    params: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; "
+                              f"expected one of {sorted(ALL_KINDS)}")
+        if self.at < 0:
+            raise ConfigError(f"fault time must be >= 0, got {self.at}")
+        recovery = self.params.get("recovery")
+        if recovery is not None and recovery not in RECOVERY_POLICIES:
+            raise ConfigError(f"unknown recovery policy {recovery!r}; "
+                              f"expected one of {RECOVERY_POLICIES}")
+
+    def to_dict(self) -> Dict:
+        data = {"kind": self.kind, "at": self.at}
+        data.update(self.params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultEvent":
+        data = dict(data)
+        kind = data.pop("kind")
+        at = data.pop("at")
+        return cls(kind, at, data)
+
+    def describe(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"t+{self.at:g}s {self.kind} {details}".rstrip()
+
+
+@dataclass
+class FaultSchedule:
+    """A seeded sequence of environmental faults."""
+
+    seed: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def add(self, kind: str, at: float, **params) -> "FaultSchedule":
+        self.events.append(FaultEvent(kind, at, params))
+        return self
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    # --------------------------------------------------------------- persist
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": SCHEDULE_VERSION,
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultSchedule":
+        version = data.get("version", SCHEDULE_VERSION)
+        if version != SCHEDULE_VERSION:
+            raise ConfigError(f"fault schedule has version {version!r}; "
+                              f"this build reads version {SCHEDULE_VERSION}")
+        return cls(seed=data.get("seed", 0),
+                   events=[FaultEvent.from_dict(e)
+                           for e in data.get("events", ())])
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultSchedule":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    def describe(self) -> str:
+        lines = [f"fault schedule: seed {self.seed}, "
+                 f"{len(self.events)} events"]
+        for event in self.events:
+            lines.append("  " + event.describe())
+        return "\n".join(lines)
+
+    # ------------------------------------------------- derived environments
+
+    @classmethod
+    def perturbation(cls, seed: int, intensity: float = 1.0) -> "FaultSchedule":
+        """A mild, fully seed-determined background-noise environment.
+
+        Used by the robustness validator: M different seeds give M
+        different (but individually reproducible) perturbed environments
+        with light bursty loss, a little jitter, and occasional payload
+        corruption on every path.  ``intensity`` scales all the rates.
+        """
+        if intensity < 0:
+            raise ConfigError(f"intensity must be >= 0, got {intensity}")
+        rng = RandomStream(seed, "chaos-env")
+        schedule = cls(seed=seed)
+        schedule.add("loss", 0.0, path="*",
+                     p_enter_bad=min(1.0, rng.uniform(0.002, 0.01) * intensity),
+                     p_exit_bad=rng.uniform(0.3, 0.6),
+                     loss_good=0.0, loss_bad=1.0)
+        schedule.add("jitter", 0.0, path="*",
+                     jitter=rng.uniform(0.0002, 0.001) * intensity)
+        schedule.add("corrupt", 0.0, path="*",
+                     rate=min(1.0, rng.uniform(0.0, 0.005) * intensity))
+        return schedule

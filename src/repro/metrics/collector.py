@@ -53,6 +53,10 @@ class MetricsCollector:
         return [e.time for e in self._events if e.name == name]
 
     def count_in(self, name: str, start: float, end: float) -> int:
+        """Events named ``name`` with start <= time <= end; 0 when the
+        window is empty or inverted (never negative)."""
+        if end < start:
+            return 0
         times = self._times(name)
         return bisect_right(times, end) - bisect_left(times, start)
 
@@ -62,7 +66,11 @@ class MetricsCollector:
 
     def throughput(self, start: float, end: float,
                    name: str = UPDATE_DONE) -> float:
-        """Completed events per second over [start, end]."""
+        """Completed events per second over [start, end].
+
+        Well-defined on degenerate windows: a zero-length or inverted
+        window, or a window with no events (e.g. a full network partition
+        starved every client), yields exactly 0.0."""
         if end <= start:
             return 0.0
         return self.count_in(name, start, end) / (end - start)

@@ -44,7 +44,23 @@ class NetDevice:
     #: maximum packets of backlog before tail drop.
     queue_capacity: int = 4096
 
-    def __init__(self) -> None:
+    def __init__(self, process_delay: float = None,
+                 tx_latency: float = None,
+                 queue_capacity: int = None) -> None:
+        # Constructor kwargs shadow the class defaults, so scenarios can
+        # model constrained devices per-instance without new subclasses.
+        if process_delay is not None:
+            if process_delay <= 0:
+                raise ValueError("process_delay must be positive")
+            self.process_delay = process_delay
+        if tx_latency is not None:
+            if tx_latency < 0:
+                raise ValueError("tx_latency must be non-negative")
+            self.tx_latency = tx_latency
+        if queue_capacity is not None:
+            if queue_capacity < 1:
+                raise ValueError("queue_capacity must be at least 1")
+            self.queue_capacity = queue_capacity
         self._busy_until = 0.0
         self.stats = DeviceStats()
 
@@ -110,8 +126,14 @@ DEVICE_KINDS = {
 }
 
 
-def make_device(kind: str) -> NetDevice:
+def make_device(kind: str, **overrides) -> NetDevice:
+    """Build a device by kind name, with optional per-instance overrides.
+
+    ``overrides`` accepts ``process_delay``, ``tx_latency``, and
+    ``queue_capacity``; anything unset keeps the kind's class default.
+    """
     try:
-        return DEVICE_KINDS[kind]()
+        cls = DEVICE_KINDS[kind]
     except KeyError:
         raise ValueError(f"unknown device kind {kind!r}") from None
+    return cls(**overrides)

@@ -34,6 +34,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.common.errors import NetworkError
 from repro.common.ids import NodeId
 from repro.common.logging import EventLog
+from repro.common.rng import RandomStream
+from repro.faults.models import LinkFaultBank
 from repro.sim.events import PRIORITY_NETWORK
 from repro.sim.kernel import SimKernel
 from repro.netem.devices import BundledDevice, NetDevice, make_device
@@ -110,6 +112,29 @@ class EmulatorStats:
     messages_blackholed: int = 0
     packets_forwarded: int = 0
     packets_dropped_overflow: int = 0
+    # Environmental (chaos-layer) drops, each counted distinctly from
+    # device overflow so reports can attribute loss to its cause.
+    packets_dropped_loss: int = 0
+    packets_dropped_corrupt: int = 0
+    packets_dropped_down: int = 0
+    packets_dropped_partition: int = 0
+
+    def as_tuple(self) -> tuple:
+        return (self.messages_sent, self.messages_delivered,
+                self.messages_dropped_by_proxy, self.messages_blackholed,
+                self.packets_forwarded, self.packets_dropped_overflow,
+                self.packets_dropped_loss, self.packets_dropped_corrupt,
+                self.packets_dropped_down, self.packets_dropped_partition)
+
+    def load_tuple(self, values: tuple) -> None:
+        values = tuple(values)
+        # Older snapshots predate the chaos-layer counters; pad with zeros.
+        values += (0,) * (10 - len(values))
+        (self.messages_sent, self.messages_delivered,
+         self.messages_dropped_by_proxy, self.messages_blackholed,
+         self.packets_forwarded, self.packets_dropped_overflow,
+         self.packets_dropped_loss, self.packets_dropped_corrupt,
+         self.packets_dropped_down, self.packets_dropped_partition) = values
 
 
 class NetworkEmulator:
@@ -147,6 +172,13 @@ class NetworkEmulator:
         # "delivered".  Not part of emulator state (never serialized).
         self._observers: List[Callable[[str, MessageEnvelope], None]] = []
         self.stats = EmulatorStats()
+        # Chaos layer: per-path fault processes and the RNG stream they
+        # draw from.  A world-owned emulator gets a registry stream (so
+        # the registry snapshot covers it); a standalone emulator lazily
+        # creates a local stream that save_state serializes itself.
+        self.faults = LinkFaultBank()
+        self.fault_rng: Optional[RandomStream] = None
+        self._local_fault_rng = False
 
     # ----------------------------------------------------------------- hosts
 
@@ -323,38 +355,77 @@ class NetworkEmulator:
         for packet in fragment(envelope):
             self._admit_packet(packet, via_device)
 
+    def _ensure_fault_rng(self) -> RandomStream:
+        if self.fault_rng is None:
+            self.fault_rng = RandomStream(0, "netem.faults.local")
+            self._local_fault_rng = True
+        return self.fault_rng
+
+    def _schedule_tcp_retry(self, packet: Packet) -> None:
+        """Arm an RTO retransmission for a lost TCP packet.
+
+        Every non-proxy loss path (device overflow, bursty link loss,
+        corruption, down links, partitions) routes through here, so a TCP
+        flow survives transient faults the way a real stack would: at most
+        one pending retry per lost packet, no event growth while blocked.
+        """
+        if packet.transport != "tcp":
+            return
+        eid = self._next_eid()
+        due = self.kernel.now + self.TCP_RTO
+        self._in_flight[eid] = ("retry", due, packet_to_record(packet))
+        self._handles[eid] = self.kernel.schedule_at(
+            due, self._retry_due, eid, priority=PRIORITY_NETWORK)
+
     def _admit_packet(self, packet: Packet, via_device: bool = True) -> None:
         port = self._port(packet.src)
         path = self.topology.path(packet.src, packet.dst)
-        if not via_device:
-            arrival = (self.kernel.now + path.delay
-                       + packet.wire_size / path.bandwidth)
-            eid = self._next_eid()
-            self._in_flight[eid] = ("deliver", arrival, packet_to_record(packet))
-            self._handles[eid] = self.kernel.schedule_at(
-                arrival, self._deliver_due, eid, priority=PRIORITY_NETWORK)
-            self.stats.packets_forwarded += 1
-            self._count("netem.packets_forwarded")
+        src_name, dst_name = str(packet.src), str(packet.dst)
+        blocked = self.topology.blocked(src_name, dst_name)
+        if blocked is not None:
+            # The link carries nothing while down or partitioned; TCP keeps
+            # retrying, so traffic resumes when connectivity heals.
+            if blocked == "down":
+                self.stats.packets_dropped_down += 1
+                self._count("faults.packets_link_down")
+            else:
+                self.stats.packets_dropped_partition += 1
+                self._count("faults.packets_partitioned")
+            self._schedule_tcp_retry(packet)
             return
-        finish = port.device.admit(self.kernel.now, packet)
-        if finish is None:
-            self.stats.packets_dropped_overflow += 1
-            self._count("netem.packets_dropped_overflow")
-            if packet.transport == "tcp":
-                # TCP senders retransmit after an RTO; our links never
-                # corrupt, so overflow at the device is the only loss.
-                eid = self._next_eid()
-                due = self.kernel.now + self.TCP_RTO
-                self._in_flight[eid] = ("retry", due, packet_to_record(packet))
-                self._handles[eid] = self.kernel.schedule_at(
-                    due, self._retry_due, eid, priority=PRIORITY_NETWORK)
-            return
+        if via_device:
+            finish = port.device.admit(self.kernel.now, packet)
+            if finish is None:
+                self.stats.packets_dropped_overflow += 1
+                self._count("netem.packets_dropped_overflow")
+                self._schedule_tcp_retry(packet)
+                return
+        else:
+            # Proxy-produced deliveries are injected past the source
+            # device but still cross the (possibly faulty) link.
+            finish = self.kernel.now
         arrival = finish + path.delay + packet.wire_size / path.bandwidth
+        kind = "deliver"
+        if self.faults.active and packet.src != packet.dst:
+            lost, corrupted, extra = self.faults.evaluate(
+                src_name, dst_name, self._ensure_fault_rng())
+            if lost:
+                self.stats.packets_dropped_loss += 1
+                self._count("faults.packets_lost")
+                self._schedule_tcp_retry(packet)
+                return
+            arrival += extra
+            if corrupted:
+                # The payload is damaged in flight: the packet still
+                # occupies the wire and arrives, but the receive-side
+                # checksum rejects it there (see _corrupt_due).
+                kind = "corrupt"
         eid = self._next_eid()
         record = packet_to_record(packet)
-        self._in_flight[eid] = ("deliver", arrival, record)
+        self._in_flight[eid] = (kind, arrival, record)
+        callback = self._corrupt_due if kind == "corrupt" else self._deliver_due
         self._handles[eid] = self.kernel.schedule_at(
-            arrival, self._deliver_due, eid, priority=PRIORITY_NETWORK)
+            arrival, callback, eid, priority=PRIORITY_NETWORK)
         self.stats.packets_forwarded += 1
         self._count("netem.packets_forwarded")
 
@@ -365,6 +436,25 @@ class NetworkEmulator:
             return
         __, __, record = entry
         self._admit_packet(packet_from_record(record))
+
+    def _corrupt_due(self, eid: int) -> None:
+        """A corrupted packet reaches the destination and fails its checksum.
+
+        Counted distinctly from overflow (``packets_dropped_corrupt``); the
+        drop is a network-side event, so it fires even while frozen — the
+        packet never reaches the host either way.
+        """
+        entry = self._in_flight.pop(eid, None)
+        self._handles.pop(eid, None)
+        if entry is None:
+            return
+        __, __, record = entry
+        packet = packet_from_record(record)
+        self.stats.packets_dropped_corrupt += 1
+        self._count("faults.packets_corrupted")
+        self.log.emit("netem", "corrupt_drop", src=str(packet.src),
+                      dst=str(packet.dst))
+        self._schedule_tcp_retry(packet)
 
     def _deliver_due(self, eid: int) -> None:
         entry = self._in_flight.pop(eid, None)
@@ -436,11 +526,15 @@ class NetworkEmulator:
                            for n, p in self._hosts.items()},
             "counters": {str(n): (p.messages_in, p.messages_out, p.packets_in)
                          for n, p in self._hosts.items()},
-            "stats": (self.stats.messages_sent, self.stats.messages_delivered,
-                      self.stats.messages_dropped_by_proxy,
-                      self.stats.messages_blackholed,
-                      self.stats.packets_forwarded,
-                      self.stats.packets_dropped_overflow),
+            "stats": self.stats.as_tuple(),
+            # Chaos layer: fault processes, connectivity overlay, and (for
+            # standalone emulators only) the local fault RNG.  A registry
+            # stream is covered by the world's RNG snapshot instead.
+            "faults": self.faults.save_state(),
+            "link_state": self.topology.save_link_state(),
+            "fault_rng": (self.fault_rng.save_state()
+                          if self._local_fault_rng and self.fault_rng
+                          else None),
         }
 
     def load_state(self, state: dict) -> None:
@@ -466,13 +560,16 @@ class NetworkEmulator:
         for name, (m_in, m_out, p_in) in state["counters"].items():
             port = by_str[name]
             port.messages_in, port.messages_out, port.packets_in = m_in, m_out, p_in
-        (self.stats.messages_sent, self.stats.messages_delivered,
-         self.stats.messages_dropped_by_proxy, self.stats.messages_blackholed,
-         self.stats.packets_forwarded,
-         self.stats.packets_dropped_overflow) = state["stats"]
+        self.stats.load_tuple(state["stats"])
+
+        self.faults.load_state(state.get("faults", {}))
+        self.topology.load_link_state(state.get("link_state", {}))
+        rng_state = state.get("fault_rng")
+        if rng_state is not None:
+            self._ensure_fault_rng().load_state(rng_state)
 
         callbacks = {"egress": self._egress_due, "deliver": self._deliver_due,
-                     "retry": self._retry_due}
+                     "retry": self._retry_due, "corrupt": self._corrupt_due}
         for eid, kind, due, record in state["in_flight"]:
             self._in_flight[eid] = (kind, due, tuple(record))
             when = max(due, self.kernel.now)

@@ -9,7 +9,7 @@ experiments group hosts into sites with a larger inter-site delay.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import NetworkError
 from repro.common.ids import NodeId
@@ -33,6 +33,11 @@ class Topology:
             raise NetworkError("bandwidth must be positive")
         self.default = PathSpec(delay, bandwidth)
         self._overrides: Dict[Tuple[NodeId, NodeId], PathSpec] = {}
+        # Connectivity fault overlay (chaos layer).  Keys are string host
+        # names (``str(NodeId)``, e.g. "replica0") so fault schedules can
+        # address hosts declaratively without importing NodeId.
+        self._down_links: Set[Tuple[str, str]] = set()
+        self._partition: Dict[str, int] = {}
 
     def set_path(self, src: NodeId, dst: NodeId, delay: float,
                  bandwidth: Optional[float] = None) -> None:
@@ -43,6 +48,63 @@ class Topology:
         if src == dst:
             return PathSpec(0.0, self.default.bandwidth)
         return self._overrides.get((src, dst), self.default)
+
+    # ------------------------------------------- connectivity fault overlay
+
+    @staticmethod
+    def _link_key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def set_link_down(self, a: str, b: str) -> None:
+        """Take the bidirectional link between two hosts down."""
+        self._down_links.add(self._link_key(a, b))
+
+    def set_link_up(self, a: str, b: str) -> None:
+        self._down_links.discard(self._link_key(a, b))
+
+    def set_partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Partition the network into the given host groups.
+
+        Hosts in different groups cannot reach each other; hosts not
+        listed in any group are unaffected (they can still reach every
+        group).  A new partition replaces any previous one.
+        """
+        self._partition = {}
+        for index, group in enumerate(groups):
+            for host in group:
+                self._partition[host] = index
+
+    def heal_partition(self) -> None:
+        self._partition = {}
+
+    def blocked(self, src: str, dst: str) -> Optional[str]:
+        """Why a packet from ``src`` to ``dst`` cannot be carried, if so.
+
+        Returns ``"down"`` (the link is flapped down), ``"partition"``
+        (hosts are in different partition groups), or None.  Loopback is
+        never blocked: a host can always talk to itself.
+        """
+        if src == dst:
+            return None
+        if self._down_links and self._link_key(src, dst) in self._down_links:
+            return "down"
+        if self._partition:
+            src_group = self._partition.get(src)
+            dst_group = self._partition.get(dst)
+            if (src_group is not None and dst_group is not None
+                    and src_group != dst_group):
+                return "partition"
+        return None
+
+    def save_link_state(self) -> Dict:
+        return {
+            "down": sorted(self._down_links),
+            "partition": dict(self._partition),
+        }
+
+    def load_link_state(self, state: Dict) -> None:
+        self._down_links = {tuple(pair) for pair in state.get("down", ())}
+        self._partition = dict(state.get("partition", {}))
 
 
 class LanTopology(Topology):

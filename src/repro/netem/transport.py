@@ -7,8 +7,9 @@ message-oriented facades over the emulator:
 * **UDP** — fire and forget; a message becomes datagram fragments and is
   delivered if all fragments survive.
 * **TCP** — connection setup costs one round trip before the first message
-  of a flow flows; packets lost to device-queue overflow are retransmitted
-  after an RTO (the emulator's links themselves never corrupt).  Because the
+  of a flow flows; packets lost to device-queue overflow or to environmental
+  faults (bursty link loss, corruption, down links, partitions — see
+  :mod:`repro.faults`) are retransmitted after an RTO.  Because the
   paper's malicious proxy *terminates* TCP at the emulated application layer
   (Section IV-B), a message dropped or delayed by the proxy does not stall
   the rest of the stream — delivery order is the proxy's release order.
@@ -70,6 +71,14 @@ class HostTransport:
 
     def _flow_key(self, dst: NodeId) -> str:
         return f"{dst.role}:{dst.index}"
+
+    def reset_flows(self) -> None:
+        """Forget all established TCP flows (the host crashed or rebooted).
+
+        The next message on each flow pays the handshake round trip again,
+        as a restarted process re-connecting would.
+        """
+        self._tcp_established.clear()
 
     # --------------------------------------------------------------- receive
 

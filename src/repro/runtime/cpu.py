@@ -47,11 +47,19 @@ class SerialCpu:
         self._busy_until = 0.0
         self.messages_processed = 0
         self.busy_time_total = 0.0
+        #: slow-node multiplier (chaos layer): every charged cost is scaled
+        #: by this factor; 1.0 is a healthy node, 4.0 a node at 1/4 speed.
+        self.scale = 1.0
+
+    def set_scale(self, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError("CPU scale factor must be positive")
+        self.scale = factor
 
     def enqueue(self, now: float, payload_size: int,
                 extra_cost: float = 0.0) -> float:
         """Charge processing for one message; return its completion time."""
-        cost = self.cost_model.cost_of(payload_size) + extra_cost
+        cost = (self.cost_model.cost_of(payload_size) + extra_cost) * self.scale
         start = max(now, self._busy_until)
         self._busy_until = start + cost
         self.messages_processed += 1
@@ -60,6 +68,7 @@ class SerialCpu:
 
     def charge(self, now: float, cost: float) -> None:
         """Consume CPU without a dispatch (e.g. the cost of sending)."""
+        cost *= self.scale
         start = max(now, self._busy_until)
         self._busy_until = start + cost
         self.busy_time_total += cost
@@ -81,9 +90,16 @@ class SerialCpu:
                 (self.cost_model.base_cost, self.cost_model.per_byte_cost,
                  self.cost_model.signature_verify_cost,
                  self.cost_model.verify_signatures,
-                 self.cost_model.send_cost))
+                 self.cost_model.send_cost),
+                self.scale)
 
     def load_state(self, state: tuple) -> None:
-        (self._busy_until, self.messages_processed, self.busy_time_total,
-         cm) = state
+        # Older snapshots predate the slow-node scale (4-tuple).
+        if len(state) == 4:
+            (self._busy_until, self.messages_processed, self.busy_time_total,
+             cm) = state
+            self.scale = 1.0
+        else:
+            (self._busy_until, self.messages_processed, self.busy_time_total,
+             cm, self.scale) = state
         self.cost_model = CpuCostModel(*cm)

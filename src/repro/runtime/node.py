@@ -67,6 +67,9 @@ class Node:
         self.started = False
         self.crashed = False
         self.crash_reason = ""
+        #: how the node died: "" (healthy), "fault" (a target-system bug
+        #: raised TargetSystemFault), or "injected" (chaos-layer crash)
+        self.crash_kind = ""
         self.malformed_dropped = 0
         #: drop exact duplicates of recently seen payloads at admission
         self.ingress_dedup = False
@@ -99,9 +102,8 @@ class Node:
 
     # ----------------------------------------------------------------- crash
 
-    def _crash(self, exc: TargetSystemFault) -> None:
-        self.crashed = True
-        self.crash_reason = f"{type(exc).__name__}: {exc}"
+    def _halt(self) -> None:
+        """Cancel every scheduled activity of this node (it is dead)."""
         for handle in self._timer_handles.values():
             handle.cancel()
         self._timer_handles.clear()
@@ -110,7 +112,54 @@ class Node:
             handle.cancel()
         self._pending_handles.clear()
         self._pending.clear()
+
+    def _crash(self, exc: TargetSystemFault) -> None:
+        self.crashed = True
+        self.crash_kind = "fault"
+        self.crash_reason = f"{type(exc).__name__}: {exc}"
+        self._halt()
         self.log.emit(str(self.node_id), "crash", reason=self.crash_reason)
+
+    def inject_crash(self, reason: str = "injected crash") -> None:
+        """Kill this node as an *environmental* fault, not a target bug.
+
+        The process dies exactly like a :meth:`_crash` (timers and pending
+        CPU work vanish, incoming traffic is ignored) but the crash is
+        labelled ``injected`` so reports can distinguish a chaos-schedule
+        crash from a bug the attack exposed.  Established TCP flows are
+        forgotten: a restarted process must re-connect.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_kind = "injected"
+        self.crash_reason = reason
+        self._halt()
+        self.transport.reset_flows()
+        self.log.emit(str(self.node_id), "crash_injected", reason=reason)
+
+    def restart(self, app: Optional[Application] = None,
+                app_state: Optional[Dict[str, Any]] = None) -> None:
+        """Bring a crashed node back up.
+
+        ``app`` replaces the application instance (fresh-boot recovery: the
+        testbed factory built a brand-new app).  ``app_state`` instead
+        restores a previously captured ``snapshot_state`` into the existing
+        app (durable-state recovery).  Either way ``on_start`` runs again so
+        the application re-arms its timers.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.crash_kind = ""
+        self.crash_reason = ""
+        if app is not None:
+            self.attach(app)
+        if app_state is not None:
+            self.app.restore_state(app_state)
+        self.started = False
+        self.log.emit(str(self.node_id), "restart")
+        self.start()
 
     def _guard(self, fn: Callable, *args: Any) -> None:
         """Run app code, converting target faults into a crashed node."""
@@ -238,6 +287,7 @@ class Node:
         return {
             "started": self.started,
             "crashed": self.crashed,
+            "crash_kind": self.crash_kind,
             "crash_reason": self.crash_reason,
             "malformed_dropped": self.malformed_dropped,
             "timers": dict(self._timers),
@@ -264,6 +314,8 @@ class Node:
 
         self.started = state["started"]
         self.crashed = state["crashed"]
+        self.crash_kind = state.get("crash_kind",
+                                    "fault" if state["crashed"] else "")
         self.crash_reason = state["crash_reason"]
         self.malformed_dropped = state["malformed_dropped"]
         self._timers = dict(state["timers"])

@@ -18,6 +18,7 @@ from repro.common.ids import NodeId
 from repro.common.logging import EventLog
 from repro.common.rng import RngRegistry
 from repro.metrics.collector import MetricsCollector
+from repro.netem.devices import make_device
 from repro.netem.emulator import NetworkEmulator
 from repro.netem.topology import Topology
 from repro.runtime.app import Application
@@ -38,7 +39,8 @@ class World:
                  os_image: Optional[OsImage] = None,
                  log_enabled: bool = False,
                  watchdog_limit: Optional[int] = None,
-                 telemetry_enabled: bool = False) -> None:
+                 telemetry_enabled: bool = False,
+                 device_config: Optional[dict] = None) -> None:
         self.codec = codec
         self.rng = RngRegistry(seed)
         self.kernel = SimKernel()
@@ -53,23 +55,36 @@ class World:
         self.emulator = NetworkEmulator(self.kernel, topology,
                                         device_kind=device_kind, log=self.log,
                                         instruments=self.instruments)
+        # The emulator's fault draws come from a registry stream so the
+        # world RNG snapshot covers them (created eagerly for a stable
+        # registry layout regardless of whether faults are ever armed).
+        self.emulator.fault_rng = self.rng.stream("netem.faults")
+        #: per-instance device parameter overrides (process_delay,
+        #: tx_latency, queue_capacity) applied to every host's device
+        self.device_config = dict(device_config or {})
         self.metrics = MetricsCollector()
         self.nodes: Dict[NodeId, Node] = {}
         self._apps: Dict[NodeId, Application] = {}
+        self._app_factories: Dict[NodeId, object] = {}
         self._os_image = os_image or OsImage()
         self.cluster: Optional[VmCluster] = None
         self._booted = False
+        #: chaos-layer injector armed by the harness (None: no faults)
+        self.fault_injector = None
 
     # ------------------------------------------------------------- assembly
 
     def add_node(self, node_id: NodeId, app: Application,
                  cost_model: Optional[CpuCostModel] = None,
-                 default_transport: str = "udp") -> Node:
+                 default_transport: str = "udp",
+                 app_factory=None) -> Node:
         if self._booted:
             raise ConfigError("cannot add nodes after boot")
         if node_id in self.nodes:
             raise ConfigError(f"node {node_id} already added")
-        self.emulator.register_host(node_id)
+        device = (make_device(self.emulator.device_kind, **self.device_config)
+                  if self.device_config else None)
+        self.emulator.register_host(node_id, device)
         node = Node(node_id, self.kernel, self.emulator, self.codec,
                     self.rng.stream(f"node:{node_id}"),
                     cost_model=cost_model,
@@ -78,6 +93,10 @@ class World:
         node.attach(app)
         self.nodes[node_id] = node
         self._apps[node_id] = app
+        if app_factory is not None:
+            # Zero-argument callable rebuilding this node's application;
+            # needed for fresh-boot recovery after an injected crash.
+            self._app_factories[node_id] = app_factory
         return node
 
     def set_peer_groups(self, group: List[NodeId]) -> None:
@@ -118,6 +137,54 @@ class World:
     def crashed_nodes(self) -> List[NodeId]:
         return sorted(n for n, node in self.nodes.items() if node.crashed)
 
+    def crashed_node_summaries(self) -> List[str]:
+        """Human-readable lines for every crashed node, with the cause.
+
+        Distinguishes target-bug crashes (``fault``) from chaos-layer
+        crashes (``injected``) so a report can show whether the system
+        under test died by its own hand.
+        """
+        lines = []
+        for node_id in self.crashed_nodes():
+            node = self.nodes[node_id]
+            kind = node.crash_kind or "fault"
+            lines.append(f"{node_id} [{kind}] {node.crash_reason}".rstrip())
+        return lines
+
+    def restart_node(self, node_id: NodeId, fresh: bool = True,
+                     app_state: Optional[dict] = None) -> None:
+        """Recover a crashed node (chaos-layer restart).
+
+        ``fresh=True`` rebuilds the application from the factory registered
+        at :meth:`add_node` (fresh-boot recovery).  ``fresh=False`` restores
+        ``app_state`` into the existing application instance instead
+        (durable-state recovery); ``app_state=None`` then just restarts the
+        app object as it died, modelling a process that kept its memory.
+        """
+        node = self.nodes[node_id]
+        if not node.crashed:
+            return
+        if fresh:
+            factory = self._app_factories.get(node_id)
+            if factory is None:
+                raise ConfigError(
+                    f"node {node_id} has no app factory; fresh-boot "
+                    f"recovery needs add_node(..., app_factory=...)")
+            app = factory()
+            self._apps[node_id] = app
+            node.restart(app=app)
+        else:
+            node.restart(app_state=app_state)
+
+    def install_fault_injector(self, injector) -> None:
+        """Attach (or detach, with None) the chaos-layer fault injector.
+
+        Installed injectors participate in :meth:`save_component_states`,
+        so a snapshot taken mid-schedule restores with the same pending
+        fault events.
+        """
+        self.fault_injector = injector
+
     # ------------------------------------------------------------- watchdog
 
     def set_watchdog(self, max_events_per_window: Optional[int]) -> None:
@@ -140,13 +207,16 @@ class World:
     # these with the paper's pause/freeze ordering and cost accounting.
 
     def save_component_states(self) -> dict:
-        return {
+        state = {
             "kernel": self.kernel.save_state(),
             "netem": self.emulator.save_state(),
             "metrics": self.metrics.save_state(),
             "rng": self.rng.save_state(),
             "telemetry": self.instruments.save_state(),
         }
+        if self.fault_injector is not None:
+            state["faults"] = self.fault_injector.save_state()
+        return state
 
     def load_component_states(self, state: dict) -> None:
         # Kernel first: clears the event queue and rewinds the clock so the
@@ -158,6 +228,10 @@ class World:
         # Older snapshots predate the instrument registry; .get keeps them
         # loadable (load_state(None) clears to empty).
         self.instruments.load_state(state.get("telemetry"))
+        # Fault injector last: it re-schedules pending fault events against
+        # the restored clock.
+        if self.fault_injector is not None:
+            self.fault_injector.load_state(state.get("faults"))
 
     def run_for(self, duration: float):
         return self.kernel.run_for(duration)

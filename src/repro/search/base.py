@@ -58,6 +58,7 @@ class SearchAlgorithm:
                  shared_pages: bool = True,
                  delta_snapshots: bool = False,
                  fault_plan: Optional[FaultPlan] = None,
+                 fault_schedule=None,
                  watchdog_limit: Optional[int] = None,
                  max_retries: int = 2,
                  tracer: Optional[Tracer] = None,
@@ -71,6 +72,8 @@ class SearchAlgorithm:
         self.shared_pages = shared_pages
         self.delta_snapshots = delta_snapshots
         self.fault_plan = fault_plan
+        #: environmental FaultSchedule armed on every testbed (chaos layer)
+        self.fault_schedule = fault_schedule
         self.watchdog_limit = watchdog_limit
         #: platform-side tracer shared with the harness (None: no tracing)
         self.tracer = tracer
@@ -79,6 +82,8 @@ class SearchAlgorithm:
         self.progress = progress or ProgressLine()
         self.log_events = log_events
         self.ledger = CostLedger()
+        #: crashed nodes observed during this pass: name -> summary line
+        self._crashed_seen: dict = {}
         self.harness = self._fresh_harness()
         self.supervisor = ScenarioSupervisor(self.ledger,
                                              max_retries=max_retries)
@@ -94,9 +99,20 @@ class SearchAlgorithm:
                              delta_snapshots=self.delta_snapshots,
                              ledger=self.ledger,
                              fault_plan=self.fault_plan,
+                             fault_schedule=self.fault_schedule,
                              watchdog_limit=self.watchdog_limit,
                              tracer=self.tracer,
                              log_events=self.log_events)
+
+    def _note_crashes(self) -> None:
+        """Record every currently crashed node (with its cause) so the
+        report can surface a hunt that silently lost a replica."""
+        instance = self.harness.instance
+        if instance is None:
+            return
+        for line in instance.world.crashed_node_summaries():
+            name = line.split(" ", 1)[0]
+            self._crashed_seen[name] = line
 
     def _span(self, name: str, **args):
         tracer = self.tracer
@@ -124,10 +140,13 @@ class SearchAlgorithm:
         instance = self.harness.instance
         system = instance.name if instance is not None else "unknown"
         report = SearchReport(self.name, system, ledger=self.ledger)
+        self._crashed_seen = {}
         self.report = report
         return report
 
     def _finalize_report(self, report: SearchReport) -> SearchReport:
+        self._note_crashes()
+        report.crashed_nodes = sorted(self._crashed_seen.values())
         report.supervisor.merge(self.supervisor.stats)
         self.supervisor.stats = type(self.supervisor.stats)()
         if self.tracer is not None and self.tracer.enabled:
@@ -198,6 +217,7 @@ class SearchAlgorithm:
         result = self.supervisor.run(f"injection:{message_type}", attempt,
                                      rebuild=self._rebuild_testbed,
                                      scenario=message_type)
+        self._note_crashes()
         self._progress_tick()
         return result
 
@@ -240,6 +260,7 @@ class SearchAlgorithm:
                                          scenario=label)
             span.set(throughput=sample.throughput,
                      crashed=sample.crashed_nodes)
+        self._note_crashes()
         self._progress_tick()
         return sample
 

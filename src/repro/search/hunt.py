@@ -37,6 +37,8 @@ from repro.controller.harness import TestbedFactory
 from repro.controller.monitor import AttackThreshold
 from repro.controller.supervisor import (FaultPlan, QuarantinedScenario,
                                          SupervisorStats)
+from repro.faults.schedule import FaultSchedule
+from repro.faults.validation import ValidationReport
 from repro.search.results import AttackFinding, SearchReport
 from repro.search.weighted import ClusterWeights, WeightedGreedySearch
 from repro.telemetry.progress import ProgressLine
@@ -65,6 +67,16 @@ class HuntResult:
     telemetry: Optional[TelemetrySummary] = None
     #: EventLog records gathered from each pass's world (``log_events``)
     event_log: List[LogRecord] = field(default_factory=list)
+    #: robustness validation of the findings (None unless requested)
+    validation: Optional[ValidationReport] = None
+
+    def crashed_nodes(self) -> List[str]:
+        """Union of crashed-node summaries across every pass."""
+        seen = {}
+        for report in self.passes:
+            for line in report.crashed_nodes:
+                seen[line.split(" ", 1)[0]] = line
+        return sorted(seen.values())
 
     @property
     def total_time(self) -> float:
@@ -84,12 +96,18 @@ class HuntResult:
         for i, report in enumerate(self.passes, start=1):
             names = ", ".join(report.attack_names()) or "(nothing new)"
             lines.append(f"  pass {i}: {names}")
+        crashed = self.crashed_nodes()
+        if crashed:
+            lines.append(f"  crashed nodes: {', '.join(crashed)}")
         if self.supervisor.total_events:
             lines.append("  " + self.supervisor.describe())
         for q in self.quarantined:
             lines.append("  " + q.describe())
         if self.telemetry is not None:
             lines.append("  " + self.telemetry.one_line())
+        if self.validation is not None:
+            lines.extend("  " + line
+                         for line in self.validation.describe().splitlines())
         return "\n".join(lines)
 
 
@@ -168,6 +186,7 @@ def hunt(factory: TestbedFactory, seed: int = 0,
          shared_pages: bool = True,
          delta_snapshots: bool = False,
          fault_plan: Optional[FaultPlan] = None,
+         fault_schedule: Optional[FaultSchedule] = None,
          watchdog_limit: Optional[int] = None,
          max_retries: int = 2,
          checkpoint_path: Optional[str] = None,
@@ -218,6 +237,7 @@ def hunt(factory: TestbedFactory, seed: int = 0,
                                       shared_pages=shared_pages,
                                       delta_snapshots=delta_snapshots,
                                       fault_plan=fault_plan,
+                                      fault_schedule=fault_schedule,
                                       watchdog_limit=watchdog_limit,
                                       max_retries=max_retries,
                                       tracer=tracer, progress=progress,

@@ -9,6 +9,7 @@ from repro.attacks.actions import AttackScenario
 from repro.controller.costs import CostLedger
 from repro.controller.monitor import PerfSample
 from repro.controller.supervisor import QuarantinedScenario, SupervisorStats
+from repro.faults.validation import ValidationReport
 from repro.telemetry.summary import TelemetrySummary
 
 
@@ -58,6 +59,11 @@ class SearchReport:
     supervisor: SupervisorStats = field(default_factory=SupervisorStats)
     #: per-span-kind totals + instrument digest (None when telemetry is off)
     telemetry: Optional[TelemetrySummary] = None
+    #: nodes observed crashed during the search, as "name [kind] reason"
+    #: lines — makes a hunt that silently lost a replica visible
+    crashed_nodes: List[str] = field(default_factory=list)
+    #: robustness validation of the findings (None unless --validate ran)
+    validation: Optional[ValidationReport] = None
 
     @property
     def total_time(self) -> float:
@@ -78,9 +84,14 @@ class SearchReport:
                  f"{self.scenarios_evaluated} scenarios evaluated, "
                  f"platform time {self.total_time:.1f}s"]
         lines.extend("  " + f.describe() for f in self.findings)
+        if self.crashed_nodes:
+            lines.append(f"  crashed nodes: {', '.join(self.crashed_nodes)}")
         if self.supervisor.total_events:
             lines.append("  " + self.supervisor.describe())
         lines.extend("  " + q.describe() for q in self.quarantined)
         if self.telemetry is not None:
             lines.append("  " + self.telemetry.one_line())
+        if self.validation is not None:
+            lines.extend("  " + line
+                         for line in self.validation.describe().splitlines())
         return "\n".join(lines)

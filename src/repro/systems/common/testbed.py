@@ -44,22 +44,32 @@ def build_testbed(
     background_policy: Optional[List[Tuple[str, MaliciousAction]]] = None,
     topology: Optional[Topology] = None,
     device_kind: str = "BundledDevice",
+    device_config: Optional[Dict[str, float]] = None,
     ingress_dedup: bool = False,
 ) -> TestbedInstance:
-    """Assemble one deployment: world + nodes + proxy."""
+    """Assemble one deployment: world + nodes + proxy.
+
+    Every node is registered with a zero-argument app factory so the
+    chaos layer's ``restart`` fault (``World.restart_node(fresh=True)``)
+    can rebuild a crashed replica's application from scratch.
+    ``device_config`` overrides per-node NIC parameters (``process_delay``,
+    ``tx_latency``, ``queue_capacity``) without subclassing the device.
+    """
     world = World(codec, topology=topology, seed=seed,
-                  device_kind=device_kind)
+                  device_kind=device_kind, device_config=device_config)
 
     replica_ids = [replica(i) for i in range(n_replicas)]
     for i, node_id in enumerate(replica_ids):
         node = world.add_node(node_id, replica_factory(i),
-                              cost_model=cost_model)
+                              cost_model=cost_model,
+                              app_factory=lambda i=i: replica_factory(i))
         node.ingress_dedup = ingress_dedup
         if type_costs:
             node.type_costs.update(type_costs)
     for i in range(n_clients):
         world.add_node(client(i), client_factory(i),
-                       cost_model=client_cost_model or cost_model)
+                       cost_model=client_cost_model or cost_model,
+                       app_factory=lambda i=i: client_factory(i))
     world.set_peer_groups(replica_ids)
 
     malicious = [replica(i) for i in malicious_indices]

@@ -61,6 +61,11 @@ class TestCollector:
         assert metrics.last_event_time() == 4.0
         assert MetricsCollector().last_event_time() is None
 
+    def test_inverted_window_counts_zero(self):
+        metrics = collector_with_updates([1.0, 2.0])
+        assert metrics.count_in(UPDATE_DONE, 3.0, 1.0) == 0
+        assert metrics.throughput(3.0, 1.0) == 0.0
+
 
 def sample(throughput, crashed=0):
     return PerfSample(0.0, 6.0, throughput, 0.001, 0.002, 0.003, crashed)
@@ -108,3 +113,29 @@ class TestMonitor:
         s = sample(42.0, crashed=2)
         text = s.describe()
         assert "42.00" in text and "crashed" in text
+
+    def test_empty_window_sample_is_well_defined(self):
+        monitor = PerformanceMonitor(MetricsCollector())
+        s = monitor.sample(5.0, 8.0)
+        assert s.empty
+        assert s.completed == 0
+        assert s.throughput == 0.0
+        assert (s.latency_min, s.latency_avg, s.latency_max) == (0, 0, 0)
+        assert (s.latency_p50, s.latency_p95, s.latency_p99) == (0, 0, 0)
+        assert "empty window" in s.describe()
+
+    def test_completed_counts_updates(self):
+        metrics = collector_with_updates([0.5, 1.0, 1.5])
+        monitor = PerformanceMonitor(metrics)
+        s = monitor.sample(0.0, 2.0)
+        assert s.completed == 3
+        assert not s.empty
+
+    def test_empty_baselines_never_divide_by_zero(self):
+        rule = AttackThreshold(delta=0.25)
+        monitor = PerformanceMonitor(MetricsCollector())
+        empty = monitor.sample(0.0, 2.0)
+        assert rule.damage(empty, empty) == 0.0
+        assert not rule.is_attack(empty, empty)
+        assert rule.damage(empty, monitor.sample(0.0, 2.0,
+                                                 crashed_nodes=1)) == 1.0

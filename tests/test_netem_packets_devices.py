@@ -145,3 +145,51 @@ class TestDevices:
         other.load_state(state)
         assert other.stats.processed == 1
         assert other.backlog(1.0) == dev.backlog(1.0)
+
+    def test_constructor_overrides_shadow_class_defaults(self):
+        dev = BundledDevice(process_delay=0.001, tx_latency=0.0002,
+                            queue_capacity=5)
+        assert dev.max_throughput_pps() == pytest.approx(1000)
+        assert dev.tx_latency == 0.0002
+        assert dev.queue_capacity == 5
+        # the class (and fresh instances) keep their defaults
+        assert BundledDevice().queue_capacity == 4096
+        assert BundledDevice().max_throughput_pps() == pytest.approx(2500)
+
+    def test_constructor_overrides_validated(self):
+        with pytest.raises(ValueError):
+            BundledDevice(process_delay=0.0)
+        with pytest.raises(ValueError):
+            BundledDevice(tx_latency=-0.1)
+        with pytest.raises(ValueError):
+            BundledDevice(queue_capacity=0)
+
+    def test_make_device_overrides(self):
+        dev = make_device("CsmaDevice", queue_capacity=2)
+        assert dev.kind == "CsmaDevice"
+        assert dev.queue_capacity == 2
+        packet = fragment(envelope(b"p"))[0]
+        results = [dev.admit(0.0, packet) for _ in range(5)]
+        assert None in results
+
+    def test_world_device_config_plumbed_to_hosts(self):
+        from repro.common.ids import replica
+        from repro.runtime.world import World
+        from repro.runtime.app import Application
+        from repro.wire.codec import ProtocolCodec
+        from repro.wire.schema import ProtocolSchema, make_message
+
+        class NullApp(Application):
+            def snapshot_state(self):
+                return {}
+
+            def restore_state(self, state):
+                pass
+
+        schema = ProtocolSchema("d", (make_message("Ping", 1, []),))
+        world = World(ProtocolCodec(schema),
+                      device_config={"queue_capacity": 7})
+        world.add_node(replica(0), NullApp())
+        device = world.emulator.port_stats(replica(0)).device
+        assert device.queue_capacity == 7
+        assert device.kind == "BundledDevice"

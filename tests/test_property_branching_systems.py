@@ -62,6 +62,32 @@ def test_branch_replay_is_exact(name):
     assert throughputs[0] > 0, f"{name}: no progress measured"
 
 
+def test_branch_replay_is_exact_under_chaos_schedule():
+    """The branch-determinism property must survive an armed FaultSchedule:
+    loss/corruption draws, flaps, and injected crashes all replay exactly."""
+    from repro.faults.schedule import FaultSchedule
+
+    schedule = FaultSchedule(seed=9)
+    schedule.add("loss", 0.0, path="*", p_enter_bad=0.02, p_exit_bad=0.5)
+    schedule.add("corrupt", 0.0, path="*", rate=0.01)
+    schedule.add("flap", 1.2, a="replica2", b="replica3", down_for=0.6)
+    harness = AttackHarness(FACTORIES["pbft"](), seed=13,
+                            fault_schedule=schedule)
+    harness.start_run()
+    snapshot = harness.take_snapshot()
+
+    runs = []
+    for __ in range(2):
+        harness.restore(snapshot)
+        harness.world.run_for(1.0)
+        runs.append((world_digest(harness.world),
+                     harness.world.emulator.stats.as_tuple()))
+    assert runs[0] == runs[1], "pbft: chaos-schedule branch diverged"
+    # the environment was genuinely faulty, not a no-op schedule
+    stats = harness.world.emulator.stats
+    assert stats.packets_dropped_loss > 0
+
+
 @pytest.mark.parametrize("name", sorted(FACTORIES))
 def test_snapshot_restores_clock_and_state(name):
     harness = AttackHarness(FACTORIES[name](), seed=17)
