@@ -111,6 +111,17 @@ def _emit_telemetry(args, tracer: Optional[Tracer],
         print(telemetry.describe())
 
 
+def _write_worker_ledger(args, breakdown) -> None:
+    """Write the per-worker attribution JSON a parallel run produced."""
+    path = getattr(args, "worker_ledger", None)
+    if not path or not breakdown:
+        return
+    import json as json_module
+    with open(path, "w") as fh:
+        json_module.dump([w.to_dict() for w in breakdown], fh, indent=2)
+    print(f"per-worker ledger written to {path}")
+
+
 def parse_action(spec: str) -> MaliciousAction:
     """Parse an action spec: drop[:p] | delay:s | dup:n | divert |
     lie:field:strategy[:operand]."""
@@ -230,17 +241,6 @@ def cmd_search(args) -> int:
         include_lying=not args.no_lying)
     tracer = _tracer(args)
     progress = _progress(args)
-    search = cls(factory, seed=args.seed,
-                 threshold=AttackThreshold(delta=args.delta),
-                 space_config=space, max_wait=args.max_wait,
-                 shared_pages=not args.no_shared_pages,
-                 delta_snapshots=args.delta_snapshots,
-                 fault_plan=_fault_plan(args),
-                 fault_schedule=_fault_schedule(args),
-                 watchdog_limit=args.watchdog,
-                 max_retries=args.max_retries,
-                 tracer=tracer, progress=progress,
-                 log_events=args.log_events is not None)
 
     types: Optional[List[str]] = None
     if args.types:
@@ -253,26 +253,64 @@ def cmd_search(args) -> int:
         from repro.analysis.reports import excluded_scenarios, load_report
         exclude = excluded_scenarios(load_report(args.exclude_from))
 
-    def search_log_records():
-        instance = search.harness.instance
-        return instance.world.log.records if instance is not None else []
+    if args.workers > 1:
+        if _fault_plan(args) is not None:
+            raise SystemExit("--workers > 1 cannot run with --inject-faults "
+                             "(the fault plan's stream is sequence-"
+                             "dependent; use --faults chaos instead)")
+        from repro.parallel.executor import ScenarioExecutor
+        with ScenarioExecutor(
+                factory, seed=args.seed, algorithm=args.algorithm,
+                workers=args.workers,
+                threshold=AttackThreshold(delta=args.delta),
+                space_config=space, max_wait=args.max_wait,
+                shared_pages=not args.no_shared_pages,
+                delta_snapshots=args.delta_snapshots,
+                fault_schedule=_fault_schedule(args),
+                watchdog_limit=args.watchdog,
+                max_retries=args.max_retries,
+                tracer=tracer,
+                log_events=args.log_events is not None) as executor:
+            report = executor.run_pass(message_types=types, exclude=exclude)
+            log_records = executor.take_log_records()
+            breakdown = executor.worker_breakdown()
+        report.validation = _validate(args, factory, report.findings)
+        print(report.describe())
+        _emit_telemetry(args, tracer, report.telemetry, log_records)
+        _write_worker_ledger(args, breakdown)
+    else:
+        search = cls(factory, seed=args.seed,
+                     threshold=AttackThreshold(delta=args.delta),
+                     space_config=space, max_wait=args.max_wait,
+                     shared_pages=not args.no_shared_pages,
+                     delta_snapshots=args.delta_snapshots,
+                     fault_plan=_fault_plan(args),
+                     fault_schedule=_fault_schedule(args),
+                     watchdog_limit=args.watchdog,
+                     max_retries=args.max_retries,
+                     tracer=tracer, progress=progress,
+                     log_events=args.log_events is not None)
 
-    try:
-        report = search.run(message_types=types, exclude=exclude)
-    except KeyboardInterrupt:
+        def search_log_records():
+            instance = search.harness.instance
+            return instance.world.log.records if instance is not None else []
+
+        try:
+            report = search.run(message_types=types, exclude=exclude)
+        except KeyboardInterrupt:
+            progress.done()
+            report = search.report
+            print("\ninterrupted — partial report:")
+            if report is not None:
+                print(report.describe())
+            _emit_telemetry(args, tracer,
+                            report.telemetry if report is not None else None,
+                            search_log_records())
+            return EXIT_INTERRUPTED
         progress.done()
-        report = search.report
-        print("\ninterrupted — partial report:")
-        if report is not None:
-            print(report.describe())
-        _emit_telemetry(args, tracer,
-                        report.telemetry if report is not None else None,
-                        search_log_records())
-        return EXIT_INTERRUPTED
-    progress.done()
-    report.validation = _validate(args, factory, report.findings)
-    print(report.describe())
-    _emit_telemetry(args, tracer, report.telemetry, search_log_records())
+        report.validation = _validate(args, factory, report.findings)
+        print(report.describe())
+        _emit_telemetry(args, tracer, report.telemetry, search_log_records())
     if args.json:
         from repro.analysis.reports import save_report
         save_report(report, args.json)
@@ -316,7 +354,9 @@ def cmd_hunt(args) -> int:
                   checkpoint_path=args.checkpoint,
                   resume=args.resume,
                   tracer=tracer, progress=progress,
-                  log_events=args.log_events is not None)
+                  log_events=args.log_events is not None,
+                  workers=args.workers,
+                  injection_cache=args.injection_cache)
     progress.done()
     if not result.interrupted:
         result.validation = _validate(args, factory, result.findings)
@@ -324,6 +364,7 @@ def cmd_hunt(args) -> int:
     for finding in result.findings:
         print("  " + finding.describe())
     _emit_telemetry(args, tracer, result.telemetry, result.event_log)
+    _write_worker_ledger(args, result.worker_breakdown)
     if args.json:
         import json as json_module
         from repro.analysis.reports import hunt_result_to_dict
@@ -398,6 +439,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "'restore=0.1,save=0.05,boot=0.02,max=5' "
                             "(for exercising the supervision layer)")
 
+    def positive_int(value):
+        count = int(value)
+        if count < 1:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive integer, got {value}")
+        return count
+
+    def parallel_options(p, with_cache=False):
+        p.add_argument("--workers", type=positive_int, default=1,
+                       metavar="N",
+                       help="shard the work across N persistent worker "
+                            "processes; output stays byte-identical to a "
+                            "serial run")
+        p.add_argument("--worker-ledger", default=None, metavar="FILE",
+                       help="write per-worker time attribution as JSON "
+                            "(requires --workers > 1)")
+        if with_cache:
+            p.add_argument("--injection-cache", action="store_true",
+                           help="keep one testbed alive across passes and "
+                                "reuse cached injection-point snapshots "
+                                "(serial only; pass 2+ skips boot, warmup, "
+                                "and every injection seek)")
+
     def telemetry_options(p):
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="write a Chrome trace-event JSON of the run "
@@ -418,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     supervision(p)
     telemetry_options(p)
+    parallel_options(p)
     p.add_argument("--algorithm", choices=("weighted", "greedy", "brute"),
                    default="weighted")
     p.add_argument("--types", default=None,
@@ -445,6 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     supervision(p)
     telemetry_options(p)
+    parallel_options(p, with_cache=True)
     p.add_argument("--types", default=None)
     p.add_argument("--passes", type=int, default=5)
     p.add_argument("--max-wait", type=float, default=15.0)

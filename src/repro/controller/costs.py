@@ -11,7 +11,7 @@ algorithms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 BOOT = "boot"
 EXECUTION = "execution"
@@ -62,3 +62,35 @@ class CostLedger:
                  if c not in (RETRY, REBUILD)
                  or self.by_category.get(c, 0.0) > 0]
         return f"total={self.total():.1f}s ({', '.join(parts)})"
+
+
+@dataclass
+class WorkerAttribution:
+    """Platform time one parallel worker spent, by category.
+
+    The merged report's ledger is byte-identical to a serial run (replayed
+    from recorded charges), so the per-worker split lives here as a side
+    channel: it shows where the sharded work actually went without
+    perturbing the serial-equivalent accounting.
+    """
+
+    worker: int
+    #: message types (or scenario shards) this worker was pinned to
+    shards: List[str] = field(default_factory=list)
+    ledger: CostLedger = field(default_factory=CostLedger)
+    #: real seconds the worker spent processing its tasks
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "worker": self.worker,
+            "shards": list(self.shards),
+            "by_category": dict(self.ledger.by_category),
+            "total": self.ledger.total(),
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def describe(self) -> str:
+        shards = ", ".join(self.shards) or "(idle)"
+        return (f"worker {self.worker}: {shards} — "
+                f"{self.ledger.describe()}, wall {self.wall_seconds:.1f}s")

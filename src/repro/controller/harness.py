@@ -81,7 +81,8 @@ class AttackHarness:
                  fault_schedule=None,
                  watchdog_limit: Optional[int] = None,
                  tracer: Optional[Tracer] = None,
-                 log_events: bool = False) -> None:
+                 log_events: bool = False,
+                 injection_cache: bool = False) -> None:
         self.factory = factory
         self.seed = seed
         self.threshold = threshold or AttackThreshold()
@@ -101,10 +102,19 @@ class AttackHarness:
         self.tracer = tracer
         #: enable each instance's EventLog so records can be exported
         self.log_events = log_events
+        #: memoize each type's injection point against the warm snapshot
+        #: (the deterministic world reproduces it, so re-seeking from the
+        #: warm state only re-pays execution for an identical answer)
+        self.injection_cache = injection_cache
         self.instance: Optional[TestbedInstance] = None
         self.snapshotter: Optional[DistributedSnapshotter] = None
         self.monitor: Optional[PerformanceMonitor] = None
         self.warm_snapshot: Optional[WorldSnapshot] = None
+        #: (message_type, warm epoch) -> InjectionPoint
+        self._injection_points: dict = {}
+        #: bumped by every (re)build, so cache entries keyed against an old
+        #: warm snapshot can never leak into a rebuilt world
+        self._warm_epoch = 0
 
     # ------------------------------------------------------------- lifecycle
 
@@ -129,6 +139,8 @@ class AttackHarness:
         """Build, boot, and warm up a fresh instance of the testbed."""
         if self.fault_plan is not None:
             self.fault_plan.check(OP_BOOT)
+        self._warm_epoch += 1
+        self._injection_points.clear()
         self.instance = self.factory(self.seed)
         world = self.instance.world
         self._wire_telemetry(self.instance)
@@ -198,6 +210,17 @@ class AttackHarness:
 
     # ------------------------------------------------------------ injection
 
+    def cached_injection(self, message_type: str) -> Optional[InjectionPoint]:
+        """The memoized injection point for ``message_type``, if any.
+
+        Only entries taken against the *current* warm snapshot qualify; a
+        rebuild bumps the warm epoch, invalidating everything cached
+        against the dead world.
+        """
+        if not self.injection_cache:
+            return None
+        return self._injection_points.get((message_type, self._warm_epoch))
+
     def run_to_injection(self, message_type: str,
                          max_wait: Optional[float] = None
                          ) -> Optional[InjectionPoint]:
@@ -233,8 +256,12 @@ class AttackHarness:
                     info = interrupt.payload
                     snapshot = self.take_snapshot()
                     span.set(found=True, time=info["time"])
-                    return InjectionPoint(info["message_type"], info["time"],
-                                          info["src"], info["dst"], snapshot)
+                    point = InjectionPoint(info["message_type"], info["time"],
+                                           info["src"], info["dst"], snapshot)
+                    if self.injection_cache:
+                        self._injection_points[
+                            (message_type, self._warm_epoch)] = point
+                    return point
             except BaseException:
                 # An exception mid-seek (watchdog trip, snapshot fault...)
                 # must not leave the proxy armed or the injection message

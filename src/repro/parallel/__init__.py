@@ -1,0 +1,20 @@
+"""Parallel hunt execution: shard, record, merge deterministically."""
+
+from repro.parallel.executor import ScenarioExecutor
+from repro.parallel.merge import merge_brute, merge_greedy, merge_weighted
+from repro.parallel.recording import (RecordingLedger, RecordingSupervisor,
+                                      StepRecorder, StepTrace)
+from repro.parallel.worker import ProbeParams, WorkerProber
+
+__all__ = [
+    "ScenarioExecutor",
+    "ProbeParams",
+    "WorkerProber",
+    "RecordingLedger",
+    "RecordingSupervisor",
+    "StepRecorder",
+    "StepTrace",
+    "merge_brute",
+    "merge_greedy",
+    "merge_weighted",
+]

@@ -1,0 +1,316 @@
+"""ScenarioExecutor: shard a pass across workers, merge deterministically.
+
+The executor owns a pool of persistent workers (forked processes when the
+platform supports ``fork`` and more than one worker was requested; in-process
+probers otherwise — testbed factories are closures, so they can only cross a
+process boundary by fork inheritance, never by pickling).  Work units are
+message types for weighted/greedy and scenarios for brute force, pinned to
+workers round-robin in first-seen order so a type keeps hitting the same
+worker's caches across hunt passes.
+
+``run_pass`` returns a :class:`~repro.search.results.SearchReport` that is
+byte-identical to what the serial algorithm would produce — same findings,
+same ledger, same supervision events — because the merge replays recorded
+traces in serial order (see :mod:`repro.parallel.merge`).  What the workers
+actually spent is reported separately through :meth:`worker_breakdown`.
+
+Deterministic platform fault injection (``FaultPlan``) is deliberately not
+supported: its private RNG stream is sequence-dependent, so sharding would
+change which operations fault.  Environmental ``FaultSchedule`` chaos is
+fine — it is armed per-world before warmup and each worker's world perturbs
+identically to the serial one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.attacks.actions import AttackScenario
+from repro.attacks.space import ActionSpace, ActionSpaceConfig
+from repro.common.errors import ConfigError, SearchError
+from repro.controller.costs import CostLedger, WorkerAttribution
+from repro.controller.monitor import AttackThreshold
+from repro.parallel.merge import merge_brute, merge_greedy, merge_weighted
+from repro.parallel.worker import (ProbeParams, ScenarioProbe, StartupProbe,
+                                   TypeProbe, WorkerProber, WorkerReturn,
+                                   worker_main)
+from repro.search.results import SearchReport
+from repro.search.weighted import ClusterWeights
+from repro.telemetry.summary import summarize
+from repro.telemetry.tracer import Tracer
+
+ALGORITHMS = ("weighted", "greedy", "brute")
+
+
+class ScenarioExecutor:
+    """Shards a pass's work units across a persistent worker pool."""
+
+    def __init__(self, factory, seed: int = 0, algorithm: str = "weighted",
+                 workers: int = 2,
+                 threshold: Optional[AttackThreshold] = None,
+                 space_config: Optional[ActionSpaceConfig] = None,
+                 max_wait: Optional[float] = None,
+                 shared_pages: bool = True,
+                 delta_snapshots: bool = False,
+                 fault_schedule=None,
+                 watchdog_limit: Optional[int] = None,
+                 max_retries: int = 2,
+                 rounds: int = 3, confirmations: int = 2,
+                 tracer: Optional[Tracer] = None,
+                 log_events: bool = False) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if algorithm not in ALGORITHMS:
+            raise ConfigError(f"unknown algorithm {algorithm!r}; "
+                              f"expected one of {ALGORITHMS}")
+        self.factory = factory
+        self.seed = seed
+        self.algorithm = algorithm
+        self.workers = workers
+        self.threshold = threshold or AttackThreshold()
+        self.rounds = rounds
+        self.confirmations = confirmations
+        self.tracer = tracer
+        #: an unbooted instance: the schema/name/search-type oracle the
+        #: serial algorithm reads off its own harness
+        self._instance = factory(seed)
+        self._space = ActionSpace(self._instance.schema, space_config)
+        self.params = ProbeParams(
+            algorithm=algorithm, threshold=self.threshold,
+            space_config=space_config, max_wait=max_wait,
+            shared_pages=shared_pages, delta_snapshots=delta_snapshots,
+            fault_schedule=fault_schedule, watchdog_limit=watchdog_limit,
+            max_retries=max_retries,
+            trace=tracer is not None and tracer.enabled,
+            log_events=log_events)
+        start_methods = multiprocessing.get_all_start_methods()
+        self._use_fork = workers > 1 and "fork" in start_methods
+        self._procs: Dict[int, multiprocessing.Process] = {}
+        self._conns: Dict[int, object] = {}
+        self._inline: Dict[int, WorkerProber] = {}
+        #: work unit -> worker id, assigned round-robin in first-seen order
+        #: (stable across passes, so caches stay hot)
+        self._pins: Dict[object, int] = {}
+        self._attribution: Dict[int, WorkerAttribution] = {}
+        self._log_records: list = []
+
+    # --------------------------------------------------------------- plumbing
+
+    @property
+    def system(self) -> str:
+        return self._instance.name
+
+    def _pin(self, unit) -> int:
+        worker = self._pins.get(unit)
+        if worker is None:
+            worker = len(self._pins) % self.workers
+            self._pins[unit] = worker
+        return worker
+
+    def _ensure_worker(self, worker: int) -> None:
+        if self._use_fork:
+            if worker not in self._procs:
+                context = multiprocessing.get_context("fork")
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=worker_main,
+                    args=(child_conn, worker, self.factory, self.seed,
+                          self.params),
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                self._procs[worker] = process
+                self._conns[worker] = parent_conn
+        elif worker not in self._inline:
+            self._inline[worker] = WorkerProber(worker, self.factory,
+                                                self.seed, self.params)
+
+    def _dispatch(self, tasks: Dict[int, tuple]) -> Dict[int, WorkerReturn]:
+        """Send one task per worker; gather results in worker order."""
+        for worker in sorted(tasks):
+            self._ensure_worker(worker)
+        returns: Dict[int, WorkerReturn] = {}
+        if self._use_fork:
+            for worker in sorted(tasks):
+                self._conns[worker].send(tasks[worker])
+            for worker in sorted(tasks):
+                try:
+                    status, payload = self._conns[worker].recv()
+                except EOFError:
+                    raise SearchError(
+                        f"parallel worker {worker} died mid-task") from None
+                if status != "ok":
+                    raise SearchError(
+                        f"parallel worker {worker} failed:\n{payload}")
+                returns[worker] = payload
+        else:
+            for worker in sorted(tasks):
+                prober = self._inline[worker]
+                task = tasks[worker]
+                started = time.perf_counter()
+                if task[0] == "probe":
+                    startup, probes = prober.probe_types(task[1], task[2])
+                    payload = prober.package(startup=startup, types=probes)
+                else:
+                    baseline, probes = prober.probe_brute(task[1], task[2])
+                    payload = prober.package(baseline=baseline,
+                                             scenarios=probes)
+                payload.wall_seconds = time.perf_counter() - started
+                returns[worker] = payload
+        self._absorb(returns)
+        return returns
+
+    def _absorb(self, returns: Dict[int, WorkerReturn]) -> None:
+        """Fold worker accounting, spans, and log records into the parent."""
+        for worker, ret in sorted(returns.items()):
+            attribution = self._attribution.setdefault(
+                worker, WorkerAttribution(worker=worker))
+            attribution.ledger = CostLedger(dict(ret.by_category))
+            attribution.wall_seconds += ret.wall_seconds
+            for probe in ret.types:
+                if probe.message_type not in attribution.shards:
+                    attribution.shards.append(probe.message_type)
+            if ret.scenarios and "scenarios" not in attribution.shards:
+                attribution.shards.append("scenarios")
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.adopt(ret.spans, ret.events, worker=worker)
+            self._log_records.extend(ret.log_records)
+
+    @staticmethod
+    def _shared_startup(returns: Dict[int, WorkerReturn]) -> StartupProbe:
+        """All workers boot the same deterministic world; their startup
+        traces must be identical — anything else means nondeterminism that
+        would silently corrupt the merge, so fail loudly."""
+        startups = [ret.startup for __, ret in sorted(returns.items())
+                    if ret.startup is not None]
+        if not startups:
+            raise SearchError("no worker returned a startup trace")
+        first = startups[0]
+        for other in startups[1:]:
+            if (other.trace.charges != first.trace.charges
+                    or other.quarantined != first.quarantined):
+                raise SearchError(
+                    "nondeterministic startup across parallel workers: "
+                    "identical (factory, seed) produced different charges")
+        return first
+
+    # ------------------------------------------------------------------ pass
+
+    def run_pass(self, message_types: Optional[Sequence[str]] = None,
+                 exclude: Optional[Set[tuple]] = None,
+                 weights: Optional[ClusterWeights] = None,
+                 max_scenarios: Optional[int] = None) -> SearchReport:
+        """Execute one pass across the pool; return the serial-identical
+        merged report.  ``weights`` is mutated exactly as the serial
+        weighted pass would mutate it (bump per finding, in order)."""
+        excluded = frozenset(exclude or ())
+        types = (list(message_types) if message_types is not None
+                 else self._instance.search_types())
+        pass_mark = (self.tracer.mark()
+                     if self.tracer is not None and self.tracer.enabled
+                     else 0)
+        if self.algorithm == "brute":
+            report = self._run_brute(types, excluded, max_scenarios)
+        else:
+            report = self._run_branching(types, excluded, weights)
+        if self.tracer is not None and self.tracer.enabled:
+            report.telemetry = summarize(self.tracer, None, since=pass_mark)
+        return report
+
+    def _run_branching(self, types: Sequence[str], excluded: frozenset,
+                       weights: Optional[ClusterWeights]) -> SearchReport:
+        actions_by_type = {
+            t: [a for a in self._space.actions_for(t)
+                if AttackScenario(t, a).to_record() not in excluded]
+            for t in types}
+        shards: Dict[int, List[str]] = {}
+        for message_type in types:
+            if not actions_by_type[message_type]:
+                continue
+            shards.setdefault(self._pin(message_type), []).append(message_type)
+        if not shards:
+            # Nothing left to evaluate — worker 0 still boots (or reuses)
+            # its testbed so the report carries the serial startup charges.
+            shards = {0: []}
+        tasks = {worker: ("probe", shard, excluded)
+                 for worker, shard in shards.items()}
+        returns = self._dispatch(tasks)
+        startup = self._shared_startup(returns)
+        probes: Dict[str, TypeProbe] = {}
+        for __, ret in sorted(returns.items()):
+            for probe in ret.types:
+                probes[probe.message_type] = probe
+        if self.algorithm == "weighted":
+            return merge_weighted(self.system, types, actions_by_type,
+                                  weights if weights is not None
+                                  else ClusterWeights(),
+                                  self.threshold, startup, probes)
+        return merge_greedy(self.system, types, actions_by_type,
+                            self.threshold, self.rounds, self.confirmations,
+                            startup, probes)
+
+    def _run_brute(self, types: Sequence[str], excluded: frozenset,
+                   max_scenarios: Optional[int]) -> SearchReport:
+        scenarios = [s for t in types for s in self._space.scenarios_for(t)
+                     if s.to_record() not in excluded]
+        if max_scenarios is not None:
+            scenarios = scenarios[:max_scenarios]
+        shards: Dict[int, List[tuple]] = {0: []}  # worker 0 runs the baseline
+        for scenario in scenarios:
+            worker = self._pin(scenario.to_record())
+            shards.setdefault(worker, []).append(scenario.to_record())
+        tasks = {worker: ("brute", records, worker == 0)
+                 for worker, records in shards.items()}
+        returns = self._dispatch(tasks)
+        baseline = returns[0].baseline
+        if baseline is None:
+            raise SearchError("brute worker 0 returned no baseline")
+        probes: Dict[tuple, ScenarioProbe] = {}
+        for __, ret in sorted(returns.items()):
+            for probe in ret.scenarios:
+                probes[probe.record] = probe
+        return merge_brute(self.system, scenarios, self.threshold,
+                           baseline, probes)
+
+    # ------------------------------------------------------------ accounting
+
+    def worker_breakdown(self) -> List[WorkerAttribution]:
+        """Per-worker platform time and wall time, in worker order."""
+        return [self._attribution[w] for w in sorted(self._attribution)]
+
+    def take_log_records(self) -> list:
+        """Drain EventLog records gathered from the workers so far."""
+        records, self._log_records = self._log_records, []
+        return records
+
+    # --------------------------------------------------------------- teardown
+
+    def close(self) -> None:
+        """Stop every worker process; safe to call more than once."""
+        for conn in self._conns.values():
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for process in self._procs.values():
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=10)
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._procs.clear()
+        self._conns.clear()
+        self._inline.clear()
+
+    def __enter__(self) -> "ScenarioExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,371 @@
+"""The worker side of parallel search: probe a shard, record everything.
+
+Each worker owns a full testbed built from the same ``(factory, seed)`` as
+the serial run.  Because the worlds are deterministic simulations and every
+message type's processing starts from a restore of the warm snapshot, the
+platform operations a worker performs for its shard — and every ledger
+charge they produce — are bitwise identical to what the serial algorithm
+would have done for those types.  The worker therefore returns *recorded
+traces* (see :mod:`repro.parallel.recording`), not report fragments; the
+merge step replays them in serial order.
+
+Workers are persistent across hunt passes and cache per-``(type, action)``
+evaluations: a later pass that re-walks an already-probed action gets the
+recorded trace back without re-simulating, which is where the parallel
+hunt's wall-clock win comes from on top of sharding.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.attacks.actions import AttackScenario, MaliciousAction
+from repro.attacks.space import ActionSpaceConfig
+from repro.controller.harness import AttackHarness
+from repro.controller.monitor import AttackThreshold, PerfSample
+from repro.parallel.recording import (RecordingLedger, RecordingSupervisor,
+                                      StepRecorder, StepTrace)
+from repro.search.base import SearchAlgorithm, is_attack_sample
+from repro.search.brute import BruteForceSearch
+from repro.telemetry.tracer import Tracer
+
+#: what a quarantined step collapses to: (reason, attempts)
+Quarantine = Optional[Tuple[str, int]]
+
+
+@dataclass
+class ProbeParams:
+    """Everything a worker needs to build its search stack (fork-inherited)."""
+
+    algorithm: str = "weighted"        # weighted | greedy | brute
+    threshold: Optional[AttackThreshold] = None
+    space_config: Optional[ActionSpaceConfig] = None
+    max_wait: Optional[float] = None
+    shared_pages: bool = True
+    delta_snapshots: bool = False
+    fault_schedule: Any = None
+    watchdog_limit: Optional[int] = None
+    max_retries: int = 2
+    trace: bool = False
+    log_events: bool = False
+
+    @property
+    def early_stop(self) -> bool:
+        """Weighted greedy stops a cluster at its first attack; greedy
+        evaluates everything."""
+        return self.algorithm == "weighted"
+
+
+@dataclass
+class StartupProbe:
+    trace: StepTrace
+    quarantined: Quarantine = None
+
+
+@dataclass
+class ContextProbe:
+    """One supervised injection-seek + baseline branch for a type."""
+
+    found: bool
+    trace: StepTrace
+    quarantined: Quarantine = None
+
+
+@dataclass
+class EvalProbe:
+    """One supervised branch-measure of a single action."""
+
+    record: tuple                      # MaliciousAction.to_record()
+    baseline: Optional[PerfSample]
+    sample: Optional[PerfSample]
+    trace: StepTrace
+    quarantined: Quarantine = None
+
+
+@dataclass
+class TypeProbe:
+    message_type: str
+    context: ContextProbe
+    evals: List[EvalProbe] = field(default_factory=list)
+
+
+@dataclass
+class BaselineProbe:
+    """Brute force's one benign execution."""
+
+    sample: Optional[PerfSample]
+    trace: StepTrace
+    quarantined: Quarantine = None
+
+
+@dataclass
+class ScenarioProbe:
+    """One brute-force scenario: fresh execution, run-to-injection, window."""
+
+    record: tuple                      # AttackScenario.to_record()
+    injected_at: Optional[float]
+    sample: Optional[PerfSample]
+    trace: StepTrace
+    quarantined: Quarantine = None
+
+
+@dataclass
+class WorkerReturn:
+    """One task's results plus the worker's cumulative accounting."""
+
+    worker: int
+    startup: Optional[StartupProbe] = None
+    types: List[TypeProbe] = field(default_factory=list)
+    baseline: Optional[BaselineProbe] = None
+    scenarios: List[ScenarioProbe] = field(default_factory=list)
+    #: the worker's own cumulative ledger (side-channel attribution only;
+    #: the merged report's ledger is replayed from traces instead)
+    by_category: Dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    #: worker-side tracer output since the last task (tagged on adoption)
+    spans: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+    #: worker-side EventLog records since the last task
+    log_records: list = field(default_factory=list)
+
+
+class WorkerProber:
+    """Evaluates shards against one private testbed, recording every step.
+
+    Used in-process (``workers=1`` or no ``fork``) and as the body of a
+    forked worker.  All state — the booted world, the warm snapshot, the
+    injection-point cache, and the per-action evaluation cache — persists
+    across calls, so hunt pass N+1 only simulates actions pass N never
+    touched.
+    """
+
+    def __init__(self, worker_id: int, factory, seed: int,
+                 params: ProbeParams) -> None:
+        self.worker_id = worker_id
+        self.params = params
+        ledger = RecordingLedger()
+        self.tracer = Tracer(enabled=True) if params.trace else None
+        cls = BruteForceSearch if params.algorithm == "brute" \
+            else SearchAlgorithm
+        self.search = cls(
+            factory, seed=seed, threshold=params.threshold,
+            space_config=params.space_config, max_wait=params.max_wait,
+            shared_pages=params.shared_pages,
+            delta_snapshots=params.delta_snapshots,
+            fault_schedule=params.fault_schedule,
+            watchdog_limit=params.watchdog_limit,
+            max_retries=params.max_retries,
+            tracer=self.tracer, log_events=params.log_events,
+            ledger=ledger)
+        # The recording supervisor must share the recording ledger so event
+        # positions index into the same charge log.
+        self.search.supervisor = RecordingSupervisor(
+            ledger, max_retries=params.max_retries)
+        self._startup: Optional[StartupProbe] = None
+        self._baseline: Optional[BaselineProbe] = None
+        #: message_type -> {"context", "ctx", "evals": {record: EvalProbe}}
+        self._types: Dict[str, dict] = {}
+        #: scenario record -> ScenarioProbe (brute)
+        self._scenarios: Dict[tuple, ScenarioProbe] = {}
+        self._span_mark = 0
+        self._event_mark = 0
+        self._log_mark = 0
+
+    # ------------------------------------------------------- weighted/greedy
+
+    def _ensure_started(self) -> StartupProbe:
+        if self._startup is None:
+            with StepRecorder(self.search) as step:
+                self.search._start_run()
+            self._startup = StartupProbe(step.trace, step.quarantined)
+        return self._startup
+
+    def probe_types(self, message_types: Sequence[str],
+                    exclude: FrozenSet[tuple]
+                    ) -> Tuple[StartupProbe, List[TypeProbe]]:
+        """Probe every type in the shard: context + the evals the serial
+        walk could possibly visit (all of them for greedy; up to each
+        cluster's first attack for weighted)."""
+        startup = self._ensure_started()
+        probes: List[TypeProbe] = []
+        if startup.quarantined is not None:
+            return startup, probes
+        space = self.search._space()
+        for message_type in message_types:
+            probes.append(self._probe_type(space, message_type, exclude))
+        return startup, probes
+
+    def _probe_type(self, space, message_type: str,
+                    exclude: FrozenSet[tuple]) -> TypeProbe:
+        entry = self._types.get(message_type)
+        if entry is None:
+            ctx = None
+            with StepRecorder(self.search) as step:
+                ctx = self.search._acquire_context(message_type)
+            context = ContextProbe(found=ctx is not None, trace=step.trace,
+                                   quarantined=step.quarantined)
+            entry = {"context": context, "ctx": ctx, "evals": {}}
+            self._types[message_type] = entry
+        context = entry["context"]
+        evals: List[EvalProbe] = []
+        if context.quarantined is None and entry["ctx"] is not None:
+            actions = [a for a in space.actions_for(message_type)
+                       if AttackScenario(message_type, a).to_record()
+                       not in exclude]
+            if self.params.early_stop:
+                # Group by cluster, preserving enumeration order: the
+                # weight-ordered serial walk can never need an action past
+                # its cluster's first (non-quarantined) attack, because it
+                # would have stopped at that attack first.
+                clusters: Dict[str, List[MaliciousAction]] = {}
+                for action in actions:
+                    clusters.setdefault(action.cluster, []).append(action)
+                for group in clusters.values():
+                    for action in group:
+                        probe = self._eval_action(entry, action)
+                        evals.append(probe)
+                        if (probe.quarantined is None
+                                and is_attack_sample(self.search.threshold,
+                                                     probe.baseline,
+                                                     probe.sample)):
+                            break
+            else:
+                for action in actions:
+                    evals.append(self._eval_action(entry, action))
+        return TypeProbe(message_type, context, evals)
+
+    def _eval_action(self, entry: dict,
+                     action: MaliciousAction) -> EvalProbe:
+        record = action.to_record()
+        probe = entry["evals"].get(record)
+        if probe is None:
+            sample = None
+            with StepRecorder(self.search) as step:
+                sample = self.search._measure_action(entry["ctx"], action)
+            # Read the baseline *after* the measurement: a mid-step rebuild
+            # refreshes ctx.baseline, and the serial loop compares against
+            # the refreshed one.
+            baseline = (entry["ctx"].baseline
+                        if step.quarantined is None else None)
+            probe = EvalProbe(record, baseline,
+                              sample if step.quarantined is None else None,
+                              step.trace, step.quarantined)
+            entry["evals"][record] = probe
+        return probe
+
+    # ----------------------------------------------------------------- brute
+
+    def probe_brute(self, scenario_records: Sequence[tuple],
+                    include_baseline: bool
+                    ) -> Tuple[Optional[BaselineProbe], List[ScenarioProbe]]:
+        baseline = None
+        if include_baseline:
+            if self._baseline is None:
+                sample = None
+                with StepRecorder(self.search) as step:
+                    sample = self.search.supervisor.run(
+                        "baseline", self.search._baseline_attempt)
+                self._baseline = BaselineProbe(
+                    sample if step.quarantined is None else None,
+                    step.trace, step.quarantined)
+            baseline = self._baseline
+        max_wait = (self.search.max_wait if self.search.max_wait is not None
+                    else AttackHarness.DEFAULT_MAX_WAIT)
+        probes: List[ScenarioProbe] = []
+        for record in scenario_records:
+            probe = self._scenarios.get(record)
+            if probe is None:
+                scenario = AttackScenario.from_record(record)
+                injected_at = sample = None
+                with StepRecorder(self.search) as step:
+                    injected_at, sample = self.search.supervisor.run(
+                        f"scenario:{scenario.message_type}",
+                        lambda scenario=scenario:
+                            self.search._scenario_attempt(scenario, max_wait),
+                        scenario=scenario.describe())
+                probe = ScenarioProbe(record, injected_at, sample,
+                                      step.trace, step.quarantined)
+                self._scenarios[record] = probe
+            probes.append(probe)
+        return baseline, probes
+
+    # ------------------------------------------------------------- packaging
+
+    def _drain_telemetry(self) -> Tuple[list, list, list]:
+        spans: list = []
+        events: list = []
+        log_records: list = []
+        if self.tracer is not None:
+            spans = self.tracer.spans[self._span_mark:]
+            events = self.tracer.events[self._event_mark:]
+            self._span_mark = len(self.tracer.spans)
+            self._event_mark = len(self.tracer.events)
+        if self.params.log_events:
+            instance = self.search.harness.instance
+            records = (instance.world.log.records
+                       if instance is not None else [])
+            if self.params.algorithm == "brute":
+                # Brute replaces its world per scenario; ship the final
+                # world's records, matching what the serial CLI exports.
+                log_records = list(records)
+            else:
+                log_records = records[self._log_mark:]
+                self._log_mark = len(records)
+        return spans, events, log_records
+
+    def package(self, startup: Optional[StartupProbe] = None,
+                types: Sequence[TypeProbe] = (),
+                baseline: Optional[BaselineProbe] = None,
+                scenarios: Sequence[ScenarioProbe] = ()) -> WorkerReturn:
+        spans, events, log_records = self._drain_telemetry()
+        return WorkerReturn(
+            worker=self.worker_id, startup=startup, types=list(types),
+            baseline=baseline, scenarios=list(scenarios),
+            by_category=dict(self.search.ledger.by_category),
+            spans=spans, events=events, log_records=log_records)
+
+
+def worker_main(conn, worker_id: int, factory, seed: int,
+                params: ProbeParams) -> None:
+    """Forked worker loop: build the prober lazily, serve tasks until
+    ``stop`` (or the pipe closes)."""
+    prober = None
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            if message[0] == "stop":
+                break
+            started = time.perf_counter()
+            try:
+                if prober is None:
+                    prober = WorkerProber(worker_id, factory, seed, params)
+                if message[0] == "probe":
+                    __, message_types, exclude = message
+                    startup, probes = prober.probe_types(message_types,
+                                                         exclude)
+                    payload = prober.package(startup=startup, types=probes)
+                elif message[0] == "brute":
+                    __, records, include_baseline = message
+                    baseline, probes = prober.probe_brute(records,
+                                                          include_baseline)
+                    payload = prober.package(baseline=baseline,
+                                             scenarios=probes)
+                else:
+                    raise ValueError(f"unknown worker command {message[0]!r}")
+                payload.wall_seconds = time.perf_counter() - started
+                conn.send(("ok", payload))
+            except Exception:
+                conn.send(("err", traceback.format_exc()))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -31,6 +31,16 @@ from repro.telemetry.summary import summarize
 from repro.telemetry.tracer import NULL_SPAN, Tracer
 
 
+def is_attack_sample(threshold: AttackThreshold, baseline: PerfSample,
+                     sample: PerfSample) -> bool:
+    """The branch-and-measure attack rule shared by weighted greedy and the
+    parallel prober: a crash of an additional benign node is always an
+    attack, otherwise the damage threshold decides.  Keeping it in one
+    place is what lets a worker's early stop mirror the serial walk."""
+    return (sample.crashed_nodes > baseline.crashed_nodes
+            or threshold.is_attack(baseline, sample))
+
+
 @dataclass
 class TypeContext:
     """Everything needed to branch one message type: injection + baseline.
@@ -63,7 +73,10 @@ class SearchAlgorithm:
                  max_retries: int = 2,
                  tracer: Optional[Tracer] = None,
                  progress: Optional[ProgressLine] = None,
-                 log_events: bool = False) -> None:
+                 log_events: bool = False,
+                 injection_cache: bool = False,
+                 reuse_testbed: bool = False,
+                 ledger: Optional[CostLedger] = None) -> None:
         self.factory = factory
         self.seed = seed
         self.threshold = threshold or AttackThreshold()
@@ -81,7 +94,14 @@ class SearchAlgorithm:
         self._span_mark = tracer.mark() if tracer is not None else 0
         self.progress = progress or ProgressLine()
         self.log_events = log_events
-        self.ledger = CostLedger()
+        #: memoize injection points against the warm snapshot (see
+        #: AttackHarness.cached_injection); later passes of a hunt restore
+        #: the cached branch snapshot instead of re-seeking
+        self.injection_cache = injection_cache
+        #: keep the booted testbed across run() calls instead of re-booting
+        #: every pass — the enabler for cross-pass injection-cache hits
+        self.reuse_testbed = reuse_testbed
+        self.ledger = ledger if ledger is not None else CostLedger()
         #: crashed nodes observed during this pass: name -> summary line
         self._crashed_seen: dict = {}
         self.harness = self._fresh_harness()
@@ -102,7 +122,8 @@ class SearchAlgorithm:
                              fault_schedule=self.fault_schedule,
                              watchdog_limit=self.watchdog_limit,
                              tracer=self.tracer,
-                             log_events=self.log_events)
+                             log_events=self.log_events,
+                             injection_cache=self.injection_cache)
 
     def _note_crashes(self) -> None:
         """Record every currently crashed node (with its cause) so the
@@ -174,7 +195,15 @@ class SearchAlgorithm:
     # ------------------------------------------------------ supervised plane
 
     def _start_run(self) -> None:
-        """Boot (or re-boot) the testbed under supervision."""
+        """Boot (or re-boot) the testbed under supervision.
+
+        With ``reuse_testbed`` a warm testbed from a previous run() is kept
+        alive: later hunt passes skip boot+warmup entirely and their
+        injection-point cache entries stay valid.
+        """
+        if (self.reuse_testbed and self.harness.instance is not None
+                and self.harness.warm_snapshot is not None):
+            return
         self.supervisor.run("start_run", self.harness.start_run)
 
     def _rebuild_testbed(self) -> None:
@@ -193,7 +222,15 @@ class SearchAlgorithm:
             self.ledger.charge(REBUILD, sub.total())
 
     def _seek_injection(self, message_type: str) -> Optional[InjectionPoint]:
-        """Rewind to the warm state and run until the type is intercepted."""
+        """Rewind to the warm state and run until the type is intercepted.
+
+        A cached injection point (``injection_cache``) skips the rewind and
+        the seek entirely: ``branch_measure`` restores the cached branch
+        snapshot itself, so no execution or snapshot time is re-charged.
+        """
+        cached = self.harness.cached_injection(message_type)
+        if cached is not None:
+            return cached
         self.harness.restore(self.harness.warm_snapshot)
         self.harness.proxy.clear_policy()
         return self.harness.run_to_injection(message_type,
@@ -286,6 +323,27 @@ class SearchAlgorithm:
 
     # ------------------------------------------------------------------ run
 
+    def _begin_run(self) -> None:
+        """Reset per-run state before a pass starts.
+
+        Two leaks this guards against:
+
+        * a pass aborted mid-run (KeyboardInterrupt, quarantine storm)
+          would otherwise carry its retry/quarantine counters into the
+          next pass's report, double-counting them — ``supervisor.stats``
+          used to be reset only in :meth:`_finalize_report`;
+        * with ``reuse_testbed`` the same search instance runs several
+          passes, so each run needs a fresh ledger (rebound on the harness
+          and supervisor) and its own span mark.
+        """
+        if self.ledger.by_category:
+            self.ledger = CostLedger()
+            self.harness.ledger = self.ledger
+            self.supervisor.ledger = self.ledger
+        self.supervisor.stats = type(self.supervisor.stats)()
+        if self.tracer is not None:
+            self._span_mark = self.tracer.mark()
+
     def run(self, message_types: Optional[Sequence[str]] = None,
             exclude: Optional[Set[tuple]] = None,
             **kwargs) -> SearchReport:
@@ -294,6 +352,7 @@ class SearchAlgorithm:
         Subclasses implement :meth:`_run_pass`; the wrapper exists so every
         algorithm gets the same span (and its summary args) for free.
         """
+        self._begin_run()
         with self._span("search.pass", algorithm=self.name) as span:
             report = self._run_pass(message_types=message_types,
                                     exclude=exclude, **kwargs)

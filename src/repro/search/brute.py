@@ -26,20 +26,61 @@ class BruteForceSearch(SearchAlgorithm):
 
     name = "brute-force"
 
+    # The attempt bodies are plain methods (not closures) so the parallel
+    # prober can drive the exact same platform operations per shard.
+
+    def _baseline_attempt(self) -> PerfSample:
+        """One benign execution for the baseline.  Each attempt is already
+        a full rebuild, so the supervisor retries the callable directly."""
+        self.harness = self._fresh_harness()
+        self.harness.start_run(take_warm_snapshot=False)
+        return self.harness.measure_window()
+
+    def _scenario_attempt(self, scenario, max_wait: float
+                          ) -> Tuple[Optional[float], Optional[PerfSample]]:
+        # Fresh execution: boot + warmup paid every time.
+        self.harness = self._fresh_harness()
+        instance = self.harness.start_run(take_warm_snapshot=False)
+        instance.proxy.set_policy(scenario.message_type, scenario.action)
+        instance.proxy.reset_counters()
+
+        # Run until the action has actually been applied (the injection
+        # point), or waste the full execution if the type never occurs.
+        deadline = instance.world.kernel.now + max_wait
+        injected_at = None
+        while instance.world.kernel.now < deadline:
+            start = instance.world.kernel.now
+            step = min(0.5, deadline - start)
+            try:
+                instance.world.run_for(step)
+            finally:
+                self.ledger.charge(
+                    EXECUTION, instance.world.kernel.now - start)
+            if instance.proxy.first_injection_time is not None:
+                injected_at = instance.proxy.first_injection_time
+                break
+        if injected_at is None:
+            return None, None
+
+        # Measure the window from the injection point.
+        window_end = injected_at + instance.window
+        start = instance.world.kernel.now
+        try:
+            instance.world.run_until(window_end)
+        finally:
+            self.ledger.charge(EXECUTION,
+                               instance.world.kernel.now - start)
+        crashed = len(instance.world.crashed_nodes())
+        return injected_at, self.harness.monitor.sample(
+            injected_at, window_end, crashed_nodes=crashed)
+
     def _run_pass(self, message_types: Optional[Sequence[str]] = None,
                   exclude: Optional[Set[tuple]] = None,
                   max_scenarios: Optional[int] = None) -> SearchReport:
         exclude = exclude or set()
 
-        # One benign execution for the baseline.  Each attempt is already a
-        # full rebuild, so the supervisor retries the callable directly.
-        def baseline_attempt() -> PerfSample:
-            self.harness = self._fresh_harness()
-            self.harness.start_run(take_warm_snapshot=False)
-            return self.harness.measure_window()
-
         try:
-            baseline = self.supervisor.run("baseline", baseline_attempt)
+            baseline = self.supervisor.run("baseline", self._baseline_attempt)
         except ScenarioQuarantined as q:
             report = self._make_report()
             report.quarantined.append(self._quarantine_entry(q, "*", None))
@@ -57,50 +98,11 @@ class BruteForceSearch(SearchAlgorithm):
                     else AttackHarness.DEFAULT_MAX_WAIT)
 
         for scenario in scenarios:
-            def scenario_attempt(scenario=scenario
-                                 ) -> Tuple[Optional[float],
-                                            Optional[PerfSample]]:
-                # Fresh execution: boot + warmup paid every time.
-                self.harness = self._fresh_harness()
-                instance = self.harness.start_run(take_warm_snapshot=False)
-                instance.proxy.set_policy(scenario.message_type,
-                                          scenario.action)
-                instance.proxy.reset_counters()
-
-                # Run until the action has actually been applied (the
-                # injection point), or waste the full execution if the type
-                # never occurs.
-                deadline = instance.world.kernel.now + max_wait
-                injected_at = None
-                while instance.world.kernel.now < deadline:
-                    start = instance.world.kernel.now
-                    step = min(0.5, deadline - start)
-                    try:
-                        instance.world.run_for(step)
-                    finally:
-                        self.ledger.charge(
-                            EXECUTION, instance.world.kernel.now - start)
-                    if instance.proxy.first_injection_time is not None:
-                        injected_at = instance.proxy.first_injection_time
-                        break
-                if injected_at is None:
-                    return None, None
-
-                # Measure the window from the injection point.
-                window_end = injected_at + instance.window
-                start = instance.world.kernel.now
-                try:
-                    instance.world.run_until(window_end)
-                finally:
-                    self.ledger.charge(EXECUTION,
-                                       instance.world.kernel.now - start)
-                crashed = len(instance.world.crashed_nodes())
-                return injected_at, self.harness.monitor.sample(
-                    injected_at, window_end, crashed_nodes=crashed)
-
             try:
                 injected_at, sample = self.supervisor.run(
-                    f"scenario:{scenario.message_type}", scenario_attempt,
+                    f"scenario:{scenario.message_type}",
+                    lambda scenario=scenario: self._scenario_attempt(
+                        scenario, max_wait),
                     scenario=scenario.describe())
             except ScenarioQuarantined as q:
                 report.quarantined.append(self._quarantine_entry(

@@ -69,6 +69,10 @@ class HuntResult:
     event_log: List[LogRecord] = field(default_factory=list)
     #: robustness validation of the findings (None unless requested)
     validation: Optional[ValidationReport] = None
+    #: per-worker time attribution when the hunt ran with ``workers > 1``
+    #: (side channel only — never serialized; the main result is
+    #: byte-identical to a serial hunt's)
+    worker_breakdown: Optional[list] = None
 
     def crashed_nodes(self) -> List[str]:
         """Union of crashed-node summaries across every pass."""
@@ -193,7 +197,9 @@ def hunt(factory: TestbedFactory, seed: int = 0,
          resume: bool = False,
          tracer: Optional[Tracer] = None,
          progress: Optional[ProgressLine] = None,
-         log_events: bool = False) -> HuntResult:
+         log_events: bool = False,
+         workers: int = 1,
+         injection_cache: bool = False) -> HuntResult:
     """Run weighted-greedy passes until a pass finds nothing new.
 
     The cluster weights persist across passes, so what pass 1 learned about
@@ -206,7 +212,27 @@ def hunt(factory: TestbedFactory, seed: int = 0,
     ``progress`` gets a ``pass N/M`` prefix and live updates from the pass;
     ``log_events`` enables each pass's world EventLog, whose records are
     collected into ``result.event_log``.
+
+    ``workers > 1`` shards each pass's message types across a persistent
+    pool (see :class:`~repro.parallel.executor.ScenarioExecutor`); the
+    result — reports, ledger, checkpoints — is byte-identical to a serial
+    hunt's, with the real per-worker spend in ``result.worker_breakdown``.
+    ``injection_cache`` keeps one testbed (and its injection-point
+    snapshots) alive across passes, so pass 2+ skips boot, warmup, and
+    every injection seek.  The two are mutually exclusive: the cache
+    changes what later passes charge, while the parallel merge's contract
+    is to reproduce the cache-less serial ledger exactly.
     """
+    if workers > 1 and fault_plan is not None:
+        raise ConfigError(
+            "workers > 1 cannot run under a FaultPlan: the plan's fault "
+            "stream is sequence-dependent, so sharding would change which "
+            "operations fault (FaultSchedule chaos is supported)")
+    if workers > 1 and injection_cache:
+        raise ConfigError(
+            "workers > 1 and injection_cache are mutually exclusive: "
+            "cached passes charge less than the serial ledger the "
+            "parallel merge reproduces")
     result = HuntResult()
     progress = progress or ProgressLine()
     excluded: Set[tuple] = set(exclude or ())
@@ -223,59 +249,88 @@ def hunt(factory: TestbedFactory, seed: int = 0,
             if data.get("complete"):
                 return result  # campaign already converged; nothing to redo
 
-    def collect_world_output(search: WeightedGreedySearch) -> None:
-        instance = search.harness.instance
-        if log_events and instance is not None:
-            result.event_log.extend(instance.world.log.records)
+    executor = None
+    search: Optional[WeightedGreedySearch] = None
+    if workers > 1:
+        from repro.parallel.executor import ScenarioExecutor
+        executor = ScenarioExecutor(
+            factory, seed=seed, algorithm="weighted", workers=workers,
+            threshold=threshold, space_config=space_config,
+            max_wait=max_wait, shared_pages=shared_pages,
+            delta_snapshots=delta_snapshots, fault_schedule=fault_schedule,
+            watchdog_limit=watchdog_limit, max_retries=max_retries,
+            tracer=tracer, log_events=log_events)
 
-    for pass_index in range(result.resumed_passes, max_passes):
-        progress.prefix = f"pass {pass_index + 1}/{max_passes} · "
-        search = WeightedGreedySearch(factory, seed=seed,
-                                      threshold=threshold,
-                                      space_config=space_config,
-                                      max_wait=max_wait, weights=weights,
-                                      shared_pages=shared_pages,
-                                      delta_snapshots=delta_snapshots,
-                                      fault_plan=fault_plan,
-                                      fault_schedule=fault_schedule,
-                                      watchdog_limit=watchdog_limit,
-                                      max_retries=max_retries,
-                                      tracer=tracer, progress=progress,
-                                      log_events=log_events)
-        try:
-            with maybe_span(tracer, "hunt.pass",
-                            index=pass_index + 1) as span:
-                report = search.run(message_types=message_types,
-                                    exclude=excluded)
-                span.set(findings=len(report.findings))
-                pass_mark = tracer.mark() if tracer is not None else 0
-            if report.telemetry is not None and tracer is not None:
-                # the hunt.pass span closes after the pass summary was
-                # computed; fold it in so the merged totals include it
-                report.telemetry.merge(summarize(tracer, since=pass_mark))
-        except KeyboardInterrupt:
-            result.interrupted = True
-            collect_world_output(search)
+    def collect_world_output() -> None:
+        if not log_events:
+            return
+        if executor is not None:
+            result.event_log.extend(executor.take_log_records())
+        elif search is not None and search.harness.instance is not None:
+            result.event_log.extend(search.harness.instance.world.log.records)
+
+    try:
+        for pass_index in range(result.resumed_passes, max_passes):
+            progress.prefix = f"pass {pass_index + 1}/{max_passes} · "
+            if executor is None and (search is None or not injection_cache):
+                # injection_cache keeps one search (and its warm testbed,
+                # snapshots, and cache) alive; otherwise each pass gets a
+                # fresh stack, exactly as before.
+                search = WeightedGreedySearch(
+                    factory, seed=seed, threshold=threshold,
+                    space_config=space_config, max_wait=max_wait,
+                    weights=weights, shared_pages=shared_pages,
+                    delta_snapshots=delta_snapshots, fault_plan=fault_plan,
+                    fault_schedule=fault_schedule,
+                    watchdog_limit=watchdog_limit, max_retries=max_retries,
+                    tracer=tracer, progress=progress,
+                    log_events=log_events,
+                    injection_cache=injection_cache,
+                    reuse_testbed=injection_cache)
+            try:
+                with maybe_span(tracer, "hunt.pass",
+                                index=pass_index + 1) as span:
+                    if executor is not None:
+                        report = executor.run_pass(
+                            message_types=message_types, exclude=excluded,
+                            weights=weights)
+                    else:
+                        report = search.run(message_types=message_types,
+                                            exclude=excluded)
+                    span.set(findings=len(report.findings))
+                    pass_mark = tracer.mark() if tracer is not None else 0
+                if report.telemetry is not None and tracer is not None:
+                    # the hunt.pass span closes after the pass summary was
+                    # computed; fold it in so the merged totals include it
+                    report.telemetry.merge(summarize(tracer,
+                                                     since=pass_mark))
+            except KeyboardInterrupt:
+                result.interrupted = True
+                collect_world_output()
+                if checkpoint_path is not None:
+                    save_checkpoint(checkpoint_path, system, seed, excluded,
+                                    weights, result)
+                return result
+            system = report.system
+            result.passes.append(report)
+            result.total_ledger.merge(report.ledger)
+            result.quarantined.extend(report.quarantined)
+            result.supervisor.merge(report.supervisor)
+            collect_world_output()
+            if report.telemetry is not None:
+                if result.telemetry is None:
+                    result.telemetry = TelemetrySummary()
+                result.telemetry.merge(report.telemetry)
+            for finding in report.findings:
+                excluded.add(finding.scenario.to_record())
+                result.findings.append(finding)
             if checkpoint_path is not None:
                 save_checkpoint(checkpoint_path, system, seed, excluded,
                                 weights, result)
-            return result
-        system = report.system
-        result.passes.append(report)
-        result.total_ledger.merge(report.ledger)
-        result.quarantined.extend(report.quarantined)
-        result.supervisor.merge(report.supervisor)
-        collect_world_output(search)
-        if report.telemetry is not None:
-            if result.telemetry is None:
-                result.telemetry = TelemetrySummary()
-            result.telemetry.merge(report.telemetry)
-        for finding in report.findings:
-            excluded.add(finding.scenario.to_record())
-            result.findings.append(finding)
-        if checkpoint_path is not None:
-            save_checkpoint(checkpoint_path, system, seed, excluded,
-                            weights, result)
-        if not report.findings:
-            break
+            if not report.findings:
+                break
+    finally:
+        if executor is not None:
+            result.worker_breakdown = executor.worker_breakdown()
+            executor.close()
     return result

@@ -26,7 +26,7 @@ from repro.attacks.actions import (CLUSTER_DELAY, CLUSTER_DIVERT,
                                    CLUSTER_LIE_RELATIVE, AttackScenario,
                                    MaliciousAction)
 from repro.controller.supervisor import ScenarioQuarantined
-from repro.search.base import SearchAlgorithm
+from repro.search.base import SearchAlgorithm, is_attack_sample
 from repro.search.results import AttackFinding, SearchReport
 
 #: Preloaded cluster weights.  "The weight of each cluster can be preloaded"
@@ -131,7 +131,7 @@ class WeightedGreedySearch(SearchAlgorithm):
                     damage=1.0 if crashed else damage,
                     crashes=sample.crashed_nodes,
                     found_at=self.ledger.total())
-                if crashed or self.threshold.is_attack(baseline, sample):
+                if is_attack_sample(self.threshold, baseline, sample):
                     # Stop immediately: this action is an attack.  Learn.
                     self.weights.bump(action.cluster)
                     report.findings.append(finding)

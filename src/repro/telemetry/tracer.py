@@ -154,6 +154,29 @@ class Tracer:
         self.spans.append(SpanRecord(name, PHASE_INSTANT, len(self._stack),
                                      tv, tv, tw, tw, dict(args)))
 
+    def adopt(self, spans: List[SpanRecord],
+              events: List[Tuple[str, str, float, float, Dict[str, Any]]],
+              **tags: Any) -> None:
+        """Fold spans recorded by another tracer (a parallel worker) in.
+
+        Each adopted record gets ``tags`` (e.g. ``worker=3``) merged into
+        its args, so a Chrome trace of a parallel hunt shows which worker
+        performed every harness operation.
+        """
+        if not self.enabled:
+            return
+        for record in spans:
+            args = dict(record.args)
+            args.update(tags)
+            self.spans.append(SpanRecord(
+                record.name, record.phase, record.depth,
+                record.t0_virtual, record.t1_virtual,
+                record.t0_wall, record.t1_wall, args))
+        for phase, name, tv, tw, args in events:
+            merged = dict(args)
+            merged.update(tags)
+            self.events.append((phase, name, tv, tw, merged))
+
     # ------------------------------------------------------------------ query
 
     def mark(self) -> int:

@@ -184,9 +184,18 @@ class SnapshotManager:
 
     # ------------------------------------------------------------------ load
 
-    def load(self, snapshot: ClusterSnapshot,
-             memories: Sequence[GuestMemory]) -> None:
+    def _stage(self, snapshot: ClusterSnapshot,
+               memories: Sequence[GuestMemory]
+               ) -> List[List]:
+        """Reconstruct every VM's page table without touching guest memory.
+
+        Restores are applied in two phases — stage everything (where any
+        missing guest, dangling shared reference, or corrupt record
+        surfaces as a :class:`SnapshotError`), then commit — so a failed
+        restore leaves every guest's memory exactly as it was.
+        """
         by_name = {m.vm_name: m for m in memories}
+        staged: List[List] = []
         for vm_snap in snapshot.vm_snapshots:
             memory = by_name.get(vm_snap.vm_name)
             if memory is None:
@@ -198,10 +207,17 @@ class SnapshotManager:
                     if snapshot.shared_map is None:
                         raise SnapshotError(
                             f"{vm_snap.vm_name}: shared ref without a map")
-                    pages[record.pfn] = snapshot.shared_map.lookup(record.digest)
+                    pages[record.pfn] = snapshot.shared_map.lookup(
+                        record.digest)
                 else:
                     pages[record.pfn] = Page(record.digest, record.content)
-            memory.load_pages(pages, vm_snap.app_page_count)
+            staged.append([memory, pages, vm_snap.app_page_count])
+        return staged
+
+    def load(self, snapshot: ClusterSnapshot,
+             memories: Sequence[GuestMemory]) -> None:
+        for memory, pages, app_page_count in self._stage(snapshot, memories):
+            memory.load_pages(pages, app_page_count)
 
     # ----------------------------------------------------- delta snapshots
     #
@@ -247,26 +263,40 @@ class SnapshotManager:
 
     def load_delta(self, snapshot: "DeltaClusterSnapshot",
                    memories: Sequence[GuestMemory]) -> None:
-        self.load(snapshot.base, memories)
-        by_name = {m.vm_name: m for m in memories}
+        # Overlay each delta onto the *staged* base page tables, never onto
+        # live guest memory: a SnapshotError anywhere mid-restore (missing
+        # guest, dangling shared ref) must leave all guests untouched
+        # rather than half base-restored.
+        staged = self._stage(snapshot.base, memories)
+        by_name = {entry[0].vm_name: entry for entry in staged}
         for delta in snapshot.vm_deltas:
-            memory = by_name.get(delta.vm_name)
-            if memory is None:
+            entry = by_name.get(delta.vm_name)
+            if entry is None:
                 raise SnapshotError(
                     f"no guest named {delta.vm_name} to restore into")
-            pages, __ = memory.export_pages()
+            __, pages, __count = entry
             for pfn in delta.removed:
                 pages.pop(pfn, None)
             for record in delta.changed:
                 pages[record.pfn] = Page(record.digest, record.content)
-            memory.load_pages(pages, delta.app_page_count)
+            entry[2] = delta.app_page_count
+        for memory, pages, app_page_count in staged:
+            memory.load_pages(pages, app_page_count)
 
     # -------------------------------------------------------------- analysis
 
     @staticmethod
     def compare(plain: ClusterSnapshot, shared: ClusterSnapshot
                 ) -> Tuple[float, float]:
-        """(size reduction, save-time reduction) of shared vs plain, in %."""
-        size_red = 100.0 * (1 - shared.stored_bytes() / plain.stored_bytes())
-        time_red = 100.0 * (1 - shared.save_time / plain.save_time)
+        """(size reduction, save-time reduction) of shared vs plain, in %.
+
+        A plain snapshot of empty memories (or one taken under a
+        zero-bandwidth timing model) has nothing to reduce; report 0.0
+        instead of dividing by zero.
+        """
+        plain_bytes = plain.stored_bytes()
+        size_red = (100.0 * (1 - shared.stored_bytes() / plain_bytes)
+                    if plain_bytes else 0.0)
+        time_red = (100.0 * (1 - shared.save_time / plain.save_time)
+                    if plain.save_time else 0.0)
         return size_red, time_red

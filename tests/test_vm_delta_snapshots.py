@@ -111,3 +111,52 @@ class TestHarnessIntegration:
         (b0, a0, cost_full), (b1, a1, cost_delta) = results
         assert b0 == b1 and a0 == a1      # identical measurements
         assert cost_delta < cost_full / 3  # much cheaper snapshots
+
+
+class TestAtomicRestore:
+    """A restore that fails mid-way (satellite of the staged two-phase
+    rewrite) must leave every guest's memory exactly as it was — never a
+    half-applied base with no delta on top."""
+
+    def _digests(self, guests):
+        return {g.vm_name: [p.digest for __, p in g.iter_pages()]
+                for g in guests}
+
+    def test_failed_delta_restore_leaves_memory_unchanged(self):
+        guests, manager = setup()
+        base = manager.save(guests)
+        guests[0].write_app_state(b"vm0-gen1" * 50)
+        delta = manager.save_delta(guests, base)
+        guests[0].write_app_state(b"current-state" * 20)
+        before = self._digests(guests)
+        # vm2 is missing from the restore set: staging must fail before
+        # any guest is touched
+        with pytest.raises(SnapshotError):
+            manager.load_delta(delta, guests[:2])
+        assert self._digests(guests) == before
+
+    def test_failed_full_restore_leaves_memory_unchanged(self):
+        guests, manager = setup()
+        snap = manager.save(guests)
+        guests[1].write_app_state(b"newer" * 30)
+        before = self._digests(guests)
+        with pytest.raises(SnapshotError):
+            manager.load(snap, guests[1:])  # vm0 missing
+        assert self._digests(guests) == before
+
+    def test_dangling_shared_ref_fails_before_commit(self):
+        guests = [GuestMemory(f"vm{i}", SMALL) for i in range(3)]
+        ksm = KsmDaemon()
+        for g in guests:
+            g.clear_dirty()
+            ksm.register(g)
+        ksm.scan()
+        manager = SnapshotManager(ksm, VmTimingModel())
+        shared = manager.save(guests, shared=True)
+        assert shared.shared_map is not None
+        shared.shared_map.pages.clear()  # corrupt the map
+        guests[0].write_app_state(b"post-snapshot" * 10)
+        before = self._digests(guests)
+        with pytest.raises(SnapshotError):
+            manager.load(shared, guests)
+        assert self._digests(guests) == before

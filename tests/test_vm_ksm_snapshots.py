@@ -204,3 +204,15 @@ class TestTableTwoShape:
         assert 13.0 < slow.save_time < 18.0
         # paper: loading 5 VMs took 0.038 s
         assert plain.load_time == pytest.approx(0.038, abs=0.01)
+
+
+class TestCompareDegenerate:
+    """compare() on degenerate snapshots must report 0%, not divide by
+    zero (a snapshot of zero guests, or of guests with no pages, stores
+    zero bytes and takes zero time)."""
+
+    def test_empty_cluster_compares_to_zero(self):
+        manager = SnapshotManager(KsmDaemon(), VmTimingModel())
+        plain = manager.save([], shared=False)
+        shared = manager.save([], shared=True)
+        assert SnapshotManager.compare(plain, shared) == (0.0, 0.0)
