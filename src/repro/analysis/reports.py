@@ -327,6 +327,10 @@ def render_markdown(report: SearchReport) -> str:
             lines.append("|---|---|")
             for name in sorted(telemetry.counters):
                 lines.append(f"| {name} | {telemetry.counters[name]:g} |")
+    if report.worker_health is not None and report.worker_health.eventful:
+        # Side channel: shown to humans, never part of the deterministic
+        # JSON (worker fate depends on wall-clock scheduling).
+        lines.extend(report.worker_health.markdown_lines())
     if report.validation is not None:
         lines.extend(_validation_lines(report.validation))
     return "\n".join(lines)
@@ -365,6 +369,8 @@ def render_hunt_markdown(result) -> str:
         lines.append("")
         for q in result.quarantined:
             lines.append(f"* {q.describe()}")
+    if result.worker_health is not None and result.worker_health.eventful:
+        lines.extend(result.worker_health.markdown_lines())
     if result.validation is not None:
         lines.extend(_validation_lines(result.validation))
     return "\n".join(lines)

@@ -122,6 +122,50 @@ def _write_worker_ledger(args, breakdown) -> None:
     print(f"per-worker ledger written to {path}")
 
 
+def _write_worker_health(args, health) -> None:
+    """Write the self-healing report JSON a parallel run was asked for."""
+    path = getattr(args, "worker_health", None)
+    if not path or health is None:
+        return
+    import json as json_module
+    with open(path, "w") as fh:
+        json_module.dump(health.to_dict(), fh, indent=2)
+    print(f"worker-health report written to {path}")
+
+
+def _health_policy(args):
+    """Build the pool's :class:`HealthPolicy` from CLI flags.
+
+    Worker flags on a serial run are configuration errors, not no-ops:
+    silently ignoring ``--worker-timeout`` on ``--workers 1`` would hide a
+    typo'd invocation from the operator who thought hangs were covered.
+    """
+    from repro.common.errors import ConfigError
+    used = [flag for flag, value in (
+        ("--worker-timeout", getattr(args, "worker_timeout", None)),
+        ("--worker-retries", getattr(args, "worker_retries", None)),
+        ("--worker-health", getattr(args, "worker_health", None)),
+        ("--worker-ledger", getattr(args, "worker_ledger", None)),
+    ) if value is not None]
+    if getattr(args, "no_degrade", False):
+        used.append("--no-degrade")
+    if args.workers == 1:
+        if used:
+            raise ConfigError(
+                f"{', '.join(used)} require{'s' if len(used) == 1 else ''} "
+                f"--workers > 1 (a serial run has no worker pool)")
+        return None
+    from repro.parallel.health import HealthPolicy
+    policy = HealthPolicy()
+    if getattr(args, "worker_timeout", None) is not None:
+        policy.task_timeout = args.worker_timeout
+    if getattr(args, "worker_retries", None) is not None:
+        policy.worker_retries = args.worker_retries
+    if getattr(args, "no_degrade", False):
+        policy.degrade = False
+    return policy
+
+
 def parse_action(spec: str) -> MaliciousAction:
     """Parse an action spec: drop[:p] | delay:s | dup:n | divert |
     lie:field:strategy[:operand]."""
@@ -253,6 +297,7 @@ def cmd_search(args) -> int:
         from repro.analysis.reports import excluded_scenarios, load_report
         exclude = excluded_scenarios(load_report(args.exclude_from))
 
+    health_policy = _health_policy(args)
     if args.workers > 1:
         if _fault_plan(args) is not None:
             raise SystemExit("--workers > 1 cannot run with --inject-faults "
@@ -270,14 +315,17 @@ def cmd_search(args) -> int:
                 watchdog_limit=args.watchdog,
                 max_retries=args.max_retries,
                 tracer=tracer,
-                log_events=args.log_events is not None) as executor:
+                log_events=args.log_events is not None,
+                health=health_policy) as executor:
             report = executor.run_pass(message_types=types, exclude=exclude)
             log_records = executor.take_log_records()
             breakdown = executor.worker_breakdown()
+            health_report = executor.worker_health()
         report.validation = _validate(args, factory, report.findings)
         print(report.describe())
         _emit_telemetry(args, tracer, report.telemetry, log_records)
         _write_worker_ledger(args, breakdown)
+        _write_worker_health(args, health_report)
     else:
         search = cls(factory, seed=args.seed,
                      threshold=AttackThreshold(delta=args.delta),
@@ -341,6 +389,7 @@ def cmd_hunt(args) -> int:
         raise SystemExit("--resume requires --checkpoint PATH")
     tracer = _tracer(args)
     progress = _progress(args)
+    health_policy = _health_policy(args)
     result = hunt(factory, seed=args.seed, message_types=types,
                   threshold=AttackThreshold(delta=args.delta),
                   space_config=space, max_passes=args.passes,
@@ -356,7 +405,8 @@ def cmd_hunt(args) -> int:
                   tracer=tracer, progress=progress,
                   log_events=args.log_events is not None,
                   workers=args.workers,
-                  injection_cache=args.injection_cache)
+                  injection_cache=args.injection_cache,
+                  health_policy=health_policy)
     progress.done()
     if not result.interrupted:
         result.validation = _validate(args, factory, result.findings)
@@ -365,6 +415,7 @@ def cmd_hunt(args) -> int:
         print("  " + finding.describe())
     _emit_telemetry(args, tracer, result.telemetry, result.event_log)
     _write_worker_ledger(args, result.worker_breakdown)
+    _write_worker_health(args, result.worker_health)
     if args.json:
         import json as json_module
         from repro.analysis.reports import hunt_result_to_dict
@@ -446,6 +497,20 @@ def build_parser() -> argparse.ArgumentParser:
                 f"must be a positive integer, got {value}")
         return count
 
+    def nonnegative_int(value):
+        count = int(value)
+        if count < 0:
+            raise argparse.ArgumentTypeError(
+                f"must be a non-negative integer, got {value}")
+        return count
+
+    def positive_float(value):
+        number = float(value)
+        if number <= 0:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive number, got {value}")
+        return number
+
     def parallel_options(p, with_cache=False):
         p.add_argument("--workers", type=positive_int, default=1,
                        metavar="N",
@@ -455,6 +520,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--worker-ledger", default=None, metavar="FILE",
                        help="write per-worker time attribution as JSON "
                             "(requires --workers > 1)")
+        p.add_argument("--worker-timeout", type=positive_float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock deadline per work unit; a worker "
+                            "that blows it is killed and its task replayed "
+                            "on a respawn (requires --workers > 1; "
+                            "default: no deadline)")
+        p.add_argument("--worker-retries", type=nonnegative_int,
+                       default=None, metavar="N",
+                       help="respawns allowed per worker before its shard "
+                            "is reassigned to the survivors (requires "
+                            "--workers > 1; default 2)")
+        p.add_argument("--no-degrade", action="store_true",
+                       help="abort the run instead of falling back to "
+                            "in-process execution when every worker is "
+                            "gone (requires --workers > 1)")
+        p.add_argument("--worker-health", default=None, metavar="FILE",
+                       help="write the self-healing report (crashes, "
+                            "restarts, reassignments, quarantines) as "
+                            "JSON (requires --workers > 1)")
         if with_cache:
             p.add_argument("--injection-cache", action="store_true",
                            help="keep one testbed alive across passes and "

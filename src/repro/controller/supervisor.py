@@ -66,6 +66,12 @@ EVENT_RETRY = "retry"
 EVENT_REBUILD = "rebuild"
 EVENT_QUARANTINE = "quarantine"
 EVENT_WATCHDOG = "watchdog"
+#: a parallel worker process died (crash or blown deadline) — emitted by
+#: the health layer (:mod:`repro.parallel.health`) into the supervision
+#: event log when a poison task is quarantined, so the ledger shows *why*
+#: the scenario was set aside.  No counter: it always precedes an
+#: ``EVENT_QUARANTINE`` that increments ``quarantines``.
+EVENT_WORKER_FAULT = "worker-fault"
 
 
 class ScenarioQuarantined(TurretError):

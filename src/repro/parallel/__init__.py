@@ -1,6 +1,8 @@
 """Parallel hunt execution: shard, record, merge deterministically."""
 
 from repro.parallel.executor import ScenarioExecutor
+from repro.parallel.health import (HealthMonitor, HealthPolicy, WorkerHealth,
+                                   WorkerHealthReport)
 from repro.parallel.merge import merge_brute, merge_greedy, merge_weighted
 from repro.parallel.recording import (RecordingLedger, RecordingSupervisor,
                                       StepRecorder, StepTrace)
@@ -8,6 +10,10 @@ from repro.parallel.worker import ProbeParams, WorkerProber
 
 __all__ = [
     "ScenarioExecutor",
+    "HealthMonitor",
+    "HealthPolicy",
+    "WorkerHealth",
+    "WorkerHealthReport",
     "ProbeParams",
     "WorkerProber",
     "RecordingLedger",

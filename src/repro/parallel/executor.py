@@ -14,6 +14,17 @@ same ledger, same supervision events — because the merge replays recorded
 traces in serial order (see :mod:`repro.parallel.merge`).  What the workers
 actually spent is reported separately through :meth:`worker_breakdown`.
 
+The pool is **self-healing** (see :mod:`repro.parallel.health`): result
+collection polls with per-task deadlines instead of blocking, a crashed or
+hung worker is killed, reaped, and respawned with its task replayed — and
+because workers are pure functions of ``(factory, seed, params)``, the
+replayed task records the same traces the dead worker would have, so the
+byte-identity contract survives worker death.  Worker slots have a bounded
+restart budget; an exhausted slot's shard moves to the survivors, a task
+that keeps killing workers is quarantined through the supervision ledger,
+and a fully collapsed pool degrades to the in-process prober rather than
+aborting the hunt.
+
 Deterministic platform fault injection (``FaultPlan``) is deliberately not
 supported: its private RNG stream is sequence-dependent, so sharding would
 change which operations fault.  Environmental ``FaultSchedule`` chaos is
@@ -25,6 +36,8 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from dataclasses import dataclass, field
+from multiprocessing import connection
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.attacks.actions import AttackScenario
@@ -32,6 +45,10 @@ from repro.attacks.space import ActionSpace, ActionSpaceConfig
 from repro.common.errors import ConfigError, SearchError
 from repro.controller.costs import CostLedger, WorkerAttribution
 from repro.controller.monitor import AttackThreshold
+from repro.parallel.health import (FAIL_CRASH, FAIL_TIMEOUT, HealthMonitor,
+                                   HealthPolicy, WorkerHealthReport,
+                                   describe_task, quarantined_return,
+                                   task_key, task_units)
 from repro.parallel.merge import merge_brute, merge_greedy, merge_weighted
 from repro.parallel.worker import (ProbeParams, ScenarioProbe, StartupProbe,
                                    TypeProbe, WorkerProber, WorkerReturn,
@@ -39,9 +56,37 @@ from repro.parallel.worker import (ProbeParams, ScenarioProbe, StartupProbe,
 from repro.search.results import SearchReport
 from repro.search.weighted import ClusterWeights
 from repro.telemetry.summary import summarize
-from repro.telemetry.tracer import Tracer
+from repro.telemetry.tracer import Tracer, maybe_span
 
 ALGORITHMS = ("weighted", "greedy", "brute")
+
+
+@dataclass
+class _Pending:
+    """One in-flight (or queued) task and where its results belong."""
+
+    task: tuple
+    #: the worker slot the task was sharded to; results are recorded under
+    #: this slot no matter which worker finally executes the task
+    slot: int
+    key: tuple
+    units: int
+    #: absolute ``time.monotonic`` deadline; None = no hang detection
+    deadline: Optional[float] = None
+
+
+@dataclass
+class _PoolState:
+    """Mutable state of one ``_dispatch`` round."""
+
+    #: executing worker -> its current task
+    pending: Dict[int, _Pending] = field(default_factory=dict)
+    #: executing worker -> tasks waiting for it to free up (reassignments)
+    queue: Dict[int, List[_Pending]] = field(default_factory=dict)
+    #: original slot -> result
+    returns: Dict[int, WorkerReturn] = field(default_factory=dict)
+    #: tasks to run in-process after the pool collapsed
+    backlog: List[_Pending] = field(default_factory=list)
 
 
 class ScenarioExecutor:
@@ -59,7 +104,8 @@ class ScenarioExecutor:
                  max_retries: int = 2,
                  rounds: int = 3, confirmations: int = 2,
                  tracer: Optional[Tracer] = None,
-                 log_events: bool = False) -> None:
+                 log_events: bool = False,
+                 health: Optional[HealthPolicy] = None) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         if algorithm not in ALGORITHMS:
@@ -73,6 +119,7 @@ class ScenarioExecutor:
         self.rounds = rounds
         self.confirmations = confirmations
         self.tracer = tracer
+        self.policy = health or HealthPolicy()
         #: an unbooted instance: the schema/name/search-type oracle the
         #: serial algorithm reads off its own harness
         self._instance = factory(seed)
@@ -87,8 +134,14 @@ class ScenarioExecutor:
             log_events=log_events)
         start_methods = multiprocessing.get_all_start_methods()
         self._use_fork = workers > 1 and "fork" in start_methods
+        self._health = HealthMonitor(self.policy, workers, tracer=tracer)
+        self._degraded = False
+        self._reassigned = 0
+        #: the first startup trace ever seen; every worker — including
+        #: respawned replacements in later passes — must replay it bitwise
+        self._startup_reference: Optional[StartupProbe] = None
         self._procs: Dict[int, multiprocessing.Process] = {}
-        self._conns: Dict[int, object] = {}
+        self._conns: Dict[int, connection.Connection] = {}
         self._inline: Dict[int, WorkerProber] = {}
         #: work unit -> worker id, assigned round-robin in first-seen order
         #: (stable across passes, so caches stay hot)
@@ -104,70 +157,290 @@ class ScenarioExecutor:
 
     def _pin(self, unit) -> int:
         worker = self._pins.get(unit)
-        if worker is None:
-            worker = len(self._pins) % self.workers
-            self._pins[unit] = worker
+        if worker is not None and not self._health.is_retired(worker):
+            return worker
+        candidates = [w for w in range(self.workers)
+                      if not self._health.is_retired(w)]
+        if not candidates:
+            candidates = [0]  # collapsed pool: everything runs in-process
+        worker = candidates[len(self._pins) % len(candidates)]
+        self._pins[unit] = worker
         return worker
+
+    def _repin(self, task: tuple, target: int) -> None:
+        """Pin a reassigned task's units to their new worker so later
+        passes shard them there directly."""
+        for unit in task[1]:
+            self._pins[unit] = target
+
+    def _lead_slot(self) -> int:
+        """The slot that carries shard-independent work (startup boot for
+        empty passes, the brute-force baseline): the lowest non-retired
+        worker."""
+        for worker in range(self.workers):
+            if not self._health.is_retired(worker):
+                return worker
+        return 0
+
+    def _spawn(self, worker: int) -> None:
+        context = multiprocessing.get_context("fork")
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=worker_main,
+            args=(child_conn, worker, self.factory, self.seed,
+                  self.params),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        self._procs[worker] = process
+        self._conns[worker] = parent_conn
+        self._health.record_spawn(worker)
 
     def _ensure_worker(self, worker: int) -> None:
         if self._use_fork:
             if worker not in self._procs:
-                context = multiprocessing.get_context("fork")
-                parent_conn, child_conn = context.Pipe()
-                process = context.Process(
-                    target=worker_main,
-                    args=(child_conn, worker, self.factory, self.seed,
-                          self.params),
-                    daemon=True)
-                process.start()
-                child_conn.close()
-                self._procs[worker] = process
-                self._conns[worker] = parent_conn
+                self._spawn(worker)
         elif worker not in self._inline:
             self._inline[worker] = WorkerProber(worker, self.factory,
                                                 self.seed, self.params)
 
+    # ------------------------------------------------------------- dispatch
+
     def _dispatch(self, tasks: Dict[int, tuple]) -> Dict[int, WorkerReturn]:
-        """Send one task per worker; gather results in worker order."""
-        for worker in sorted(tasks):
-            self._ensure_worker(worker)
-        returns: Dict[int, WorkerReturn] = {}
+        """Send one task per worker; gather results, healing failures."""
         if self._use_fork:
-            for worker in sorted(tasks):
-                self._conns[worker].send(tasks[worker])
-            for worker in sorted(tasks):
-                try:
-                    status, payload = self._conns[worker].recv()
-                except EOFError:
-                    raise SearchError(
-                        f"parallel worker {worker} died mid-task") from None
-                if status != "ok":
-                    raise SearchError(
-                        f"parallel worker {worker} failed:\n{payload}")
-                returns[worker] = payload
+            returns = self._dispatch_fork(tasks)
         else:
+            returns = {}
             for worker in sorted(tasks):
-                prober = self._inline[worker]
-                task = tasks[worker]
-                started = time.perf_counter()
-                if task[0] == "probe":
-                    startup, probes = prober.probe_types(task[1], task[2])
-                    payload = prober.package(startup=startup, types=probes)
-                else:
-                    baseline, probes = prober.probe_brute(task[1], task[2])
-                    payload = prober.package(baseline=baseline,
-                                             scenarios=probes)
-                payload.wall_seconds = time.perf_counter() - started
-                returns[worker] = payload
+                self._ensure_worker(worker)
+                returns[worker] = self._run_inline(worker, tasks[worker])
         self._absorb(returns)
         return returns
 
+    def _run_inline(self, worker: int, task: tuple) -> WorkerReturn:
+        self._ensure_worker(worker)
+        prober = self._inline[worker]
+        started = time.perf_counter()
+        if task[0] == "probe":
+            startup, probes = prober.probe_types(task[1], task[2])
+            payload = prober.package(startup=startup, types=probes)
+        else:
+            baseline, probes = prober.probe_brute(task[1], task[2])
+            payload = prober.package(baseline=baseline, scenarios=probes)
+        payload.wall_seconds = time.perf_counter() - started
+        return payload
+
+    def _dispatch_fork(self, tasks: Dict[int, tuple]
+                       ) -> Dict[int, WorkerReturn]:
+        state = _PoolState()
+        for worker in sorted(tasks):
+            task = tasks[worker]
+            self._submit(worker, _Pending(task=task, slot=worker,
+                                          key=task_key(task),
+                                          units=task_units(task)), state)
+        while state.pending:
+            self._collect_once(state)
+        for items in state.queue.values():  # pragma: no cover - defensive
+            state.backlog.extend(items)
+        state.queue.clear()
+        # A collapsed pool finishes the pass in-process: same factory, same
+        # seed, same recorded traces — the report stays serial-identical.
+        for item in sorted(state.backlog, key=lambda entry: entry.slot):
+            self._record(item.slot, self._run_inline(item.slot, item.task),
+                         state)
+        return state.returns
+
+    def _submit(self, worker: int, entry: _Pending, state: _PoolState) -> None:
+        if self._degraded:
+            state.backlog.append(entry)
+            return
+        if worker in state.pending:
+            state.queue.setdefault(worker, []).append(entry)
+            return
+        self._ensure_worker(worker)
+        budget = self.policy.deadline_for(entry.units)
+        entry.deadline = (time.monotonic() + budget
+                          if budget is not None else None)
+        try:
+            self._conns[worker].send(entry.task)
+        except (BrokenPipeError, OSError):
+            # The worker died *between* tasks (its last task succeeded, so
+            # nothing counts against the poison budget): route through the
+            # same failure path a mid-task death takes.
+            state.queue.setdefault(worker, []).insert(0, entry)
+            self._fail_worker(worker, FAIL_CRASH, "pipe closed on task send",
+                              None, state)
+            return
+        state.pending[worker] = entry
+
+    def _poll_timeout(self, state: _PoolState) -> float:
+        timeout = self.policy.poll_interval
+        now = time.monotonic()
+        for entry in state.pending.values():
+            if entry.deadline is not None:
+                timeout = min(timeout, entry.deadline - now)
+        return max(0.01, timeout)
+
+    def _collect_once(self, state: _PoolState) -> None:
+        for worker in list(state.pending):
+            if worker not in self._conns:  # pragma: no cover - defensive
+                self._fail_worker(worker, FAIL_CRASH, "connection lost",
+                                  state.pending.pop(worker), state)
+                return
+        conns = {self._conns[w]: w for w in state.pending}
+        ready = (connection.wait(list(conns),
+                                 timeout=self._poll_timeout(state))
+                 if conns else [])
+        for conn in ready:
+            worker = conns[conn]
+            if worker not in state.pending:
+                continue  # a failure path already consumed this worker
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError):
+                self._fail_worker(worker, FAIL_CRASH, "pipe closed mid-task",
+                                  state.pending.pop(worker), state)
+                continue
+            if status != "ok":
+                raise SearchError(
+                    f"parallel worker {worker} failed:\n{payload}")
+            entry = state.pending.pop(worker)
+            self._record(entry.slot, payload, state)
+            queued = state.queue.get(worker)
+            if queued:
+                self._submit(worker, queued.pop(0), state)
+                if not state.queue.get(worker):
+                    state.queue.pop(worker, None)
+        now = time.monotonic()
+        for worker in list(state.pending):
+            entry = state.pending[worker]
+            if entry.deadline is not None and now > entry.deadline:
+                budget = self.policy.deadline_for(entry.units) or 0.0
+                self._fail_worker(
+                    worker, FAIL_TIMEOUT,
+                    f"deadline expired ({budget:.1f}s for "
+                    f"{entry.units} units)",
+                    state.pending.pop(worker), state)
+
+    @staticmethod
+    def _record(slot: int, payload: WorkerReturn, state: _PoolState) -> None:
+        if slot in state.returns:  # pragma: no cover - defensive
+            raise SearchError(f"duplicate result for worker slot {slot}")
+        state.returns[slot] = payload
+
+    # ------------------------------------------------------------- recovery
+
+    def _reap(self, worker: int, kind: str, detail: str) -> None:
+        """Kill and reap a failed worker; close its pipe; record its fate."""
+        process = self._procs.pop(worker, None)
+        conn = self._conns.pop(worker, None)
+        with maybe_span(self.tracer, "executor.worker.kill",
+                        worker=worker, kind=kind):
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            if process is not None:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5)
+                    if process.is_alive():  # pragma: no cover - defensive
+                        process.kill()
+                        process.join(timeout=5)
+                else:
+                    process.join(timeout=5)
+                try:
+                    process.close()
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+        self._health.record_failure(worker, kind, detail)
+
+    def _fail_worker(self, worker: int, kind: str, detail: str,
+                     entry: Optional[_Pending], state: _PoolState) -> None:
+        """Kill and reap a failed worker, then recover its work: quarantine
+        a poison task, replay on a respawn, reassign to a survivor, or
+        degrade to in-process execution."""
+        self._reap(worker, kind, detail)
+        redo: List[_Pending] = []
+        if entry is not None:
+            crashes = self._health.note_task_crash(entry.key)
+            if self._health.is_poison(entry.key):
+                label = describe_task(entry.task)
+                self._health.record_quarantine(label, crashes)
+                self._record(entry.slot, quarantined_return(
+                    worker, entry.task,
+                    f"poison task killed {crashes} workers "
+                    f"(last {kind}: {detail})", crashes), state)
+            else:
+                redo.append(entry)
+        redo.extend(state.queue.pop(worker, ()))
+        if not redo:
+            if not self._health.allow_restart(worker):
+                self._health.retire(worker)
+            return
+        if self._health.allow_restart(worker):
+            delay = self._health.record_restart(worker)
+            if delay > 0:
+                time.sleep(delay)
+            with maybe_span(self.tracer, "executor.worker.respawn",
+                            worker=worker):
+                self._spawn(worker)
+            for item in redo:
+                self._health.record_replay(worker, item.units)
+                self._submit(worker, item, state)
+            return
+        self._health.retire(worker)
+        for item in redo:
+            self._reassign(worker, item, state)
+
+    def _reassign(self, worker: int, item: _Pending,
+                  state: _PoolState) -> None:
+        if self._degraded:
+            state.backlog.append(item)
+            return
+        survivors = [w for w in sorted(self._procs)
+                     if not self._health.is_retired(w)]
+        if not survivors:
+            self._collapse([item], state)
+            return
+        target = survivors[(worker + 1 + self._reassigned) % len(survivors)]
+        self._reassigned += 1
+        self._health.record_reassignment(worker, target, item.units)
+        self._repin(item.task, target)
+        self._submit(target, item, state)
+
+    def _collapse(self, items: List[_Pending], state: _PoolState) -> None:
+        if not self.policy.degrade:
+            raise SearchError(
+                "parallel worker pool collapsed: every worker exhausted its "
+                "restart budget; raise --worker-retries, drop --no-degrade "
+                "to fall back to in-process execution, or run serially")
+        if not self._degraded:
+            self._health.record_degraded()
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.instant("executor.pool.degrade")
+            self._degraded = True
+            self._use_fork = False
+        state.backlog.extend(items)
+
+    # ------------------------------------------------------------ accounting
+
     def _absorb(self, returns: Dict[int, WorkerReturn]) -> None:
-        """Fold worker accounting, spans, and log records into the parent."""
-        for worker, ret in sorted(returns.items()):
+        """Fold worker accounting, spans, and log records into the parent.
+
+        Attribution is keyed by the worker that *executed* the task
+        (``ret.worker``), which differs from the shard's slot after a
+        reassignment; the worker's cumulative ledger only ever grows, so
+        the larger snapshot wins when one worker returned twice.
+        """
+        for __, ret in sorted(returns.items()):
             attribution = self._attribution.setdefault(
-                worker, WorkerAttribution(worker=worker))
-            attribution.ledger = CostLedger(dict(ret.by_category))
+                ret.worker, WorkerAttribution(worker=ret.worker))
+            ledger = CostLedger(dict(ret.by_category))
+            if ledger.total() >= attribution.ledger.total():
+                attribution.ledger = ledger
             attribution.wall_seconds += ret.wall_seconds
             for probe in ret.types:
                 if probe.message_type not in attribution.shards:
@@ -175,26 +448,32 @@ class ScenarioExecutor:
             if ret.scenarios and "scenarios" not in attribution.shards:
                 attribution.shards.append("scenarios")
             if self.tracer is not None and self.tracer.enabled:
-                self.tracer.adopt(ret.spans, ret.events, worker=worker)
+                self.tracer.adopt(ret.spans, ret.events, worker=ret.worker)
             self._log_records.extend(ret.log_records)
 
-    @staticmethod
-    def _shared_startup(returns: Dict[int, WorkerReturn]) -> StartupProbe:
+    def _shared_startup(self, returns: Dict[int, WorkerReturn]
+                        ) -> StartupProbe:
         """All workers boot the same deterministic world; their startup
         traces must be identical — anything else means nondeterminism that
-        would silently corrupt the merge, so fail loudly."""
+        would silently corrupt the merge, so fail loudly.  The reference
+        persists across passes, so a worker respawned mid-hunt is checked
+        against the original startup too."""
         startups = [ret.startup for __, ret in sorted(returns.items())
                     if ret.startup is not None]
         if not startups:
             raise SearchError("no worker returned a startup trace")
-        first = startups[0]
-        for other in startups[1:]:
-            if (other.trace.charges != first.trace.charges
-                    or other.quarantined != first.quarantined):
+        reference = self._startup_reference
+        if reference is None:
+            reference = self._startup_reference = startups[0]
+        for other in startups:
+            if (other.trace.charges != reference.trace.charges
+                    or other.quarantined != reference.quarantined):
                 raise SearchError(
                     "nondeterministic startup across parallel workers: "
-                    "identical (factory, seed) produced different charges")
-        return first
+                    "identical (factory, seed) produced different charges "
+                    "(a respawned worker must replay the serial startup "
+                    "bitwise)")
+        return reference
 
     # ------------------------------------------------------------------ pass
 
@@ -217,6 +496,9 @@ class ScenarioExecutor:
             report = self._run_branching(types, excluded, weights)
         if self.tracer is not None and self.tracer.enabled:
             report.telemetry = summarize(self.tracer, None, since=pass_mark)
+        # Side channel, like worker_breakdown: never serialized into the
+        # deterministic report, only rendered for humans when eventful.
+        report.worker_health = self._health.report_if_eventful()
         return report
 
     def _run_branching(self, types: Sequence[str], excluded: frozenset,
@@ -231,9 +513,10 @@ class ScenarioExecutor:
                 continue
             shards.setdefault(self._pin(message_type), []).append(message_type)
         if not shards:
-            # Nothing left to evaluate — worker 0 still boots (or reuses)
-            # its testbed so the report carries the serial startup charges.
-            shards = {0: []}
+            # Nothing left to evaluate — the lead worker still boots (or
+            # reuses) its testbed so the report carries the serial startup
+            # charges.
+            shards = {self._lead_slot(): []}
         tasks = {worker: ("probe", shard, excluded)
                  for worker, shard in shards.items()}
         returns = self._dispatch(tasks)
@@ -257,16 +540,17 @@ class ScenarioExecutor:
                      if s.to_record() not in excluded]
         if max_scenarios is not None:
             scenarios = scenarios[:max_scenarios]
-        shards: Dict[int, List[tuple]] = {0: []}  # worker 0 runs the baseline
+        lead = self._lead_slot()
+        shards: Dict[int, List[tuple]] = {lead: []}  # the lead runs baseline
         for scenario in scenarios:
             worker = self._pin(scenario.to_record())
             shards.setdefault(worker, []).append(scenario.to_record())
-        tasks = {worker: ("brute", records, worker == 0)
+        tasks = {worker: ("brute", records, worker == lead)
                  for worker, records in shards.items()}
         returns = self._dispatch(tasks)
-        baseline = returns[0].baseline
+        baseline = returns[lead].baseline
         if baseline is None:
-            raise SearchError("brute worker 0 returned no baseline")
+            raise SearchError(f"brute worker {lead} returned no baseline")
         probes: Dict[tuple, ScenarioProbe] = {}
         for __, ret in sorted(returns.items()):
             for probe in ret.scenarios:
@@ -277,8 +561,15 @@ class ScenarioExecutor:
     # ------------------------------------------------------------ accounting
 
     def worker_breakdown(self) -> List[WorkerAttribution]:
-        """Per-worker platform time and wall time, in worker order."""
+        """Per-worker platform time and wall time, in worker order.
+
+        Approximate after a recovery: work a dead worker did before dying
+        is unreported, and a replacement restarts its cumulative ledger."""
         return [self._attribution[w] for w in sorted(self._attribution)]
+
+    def worker_health(self) -> WorkerHealthReport:
+        """Everything the self-healing layer did, clean or not."""
+        return self._health.report()
 
     def take_log_records(self) -> list:
         """Drain EventLog records gathered from the workers so far."""
@@ -288,7 +579,9 @@ class ScenarioExecutor:
     # --------------------------------------------------------------- teardown
 
     def close(self) -> None:
-        """Stop every worker process; safe to call more than once."""
+        """Stop every worker process; idempotent and fd-clean: parent pipe
+        ends are closed and the process/conn/prober tables cleared even
+        when a worker already died."""
         for conn in self._conns.values():
             try:
                 conn.send(("stop",))
@@ -299,6 +592,13 @@ class ScenarioExecutor:
             if process.is_alive():  # pragma: no cover - defensive
                 process.terminate()
                 process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+                process.join(timeout=10)
+            try:
+                process.close()
+            except ValueError:  # pragma: no cover - defensive
+                pass
         for conn in self._conns.values():
             try:
                 conn.close()

@@ -18,6 +18,15 @@ Why the walk never needs a step the workers didn't probe:
   is its cluster's first non-quarantined attack in enumeration order — the
   exact point where the probe stopped.  Quarantined evaluations stop
   neither walk, in lockstep.
+
+The self-healing layer (:mod:`repro.parallel.health`) reuses this pipeline
+for poison tasks: a shard that kept killing its workers comes back as
+synthetic probes whose traces carry no charges, only ``worker-fault`` +
+``quarantine`` events (:meth:`StepTrace.quarantine_only`).  Replay emits
+them like any recorded supervision event — the quarantine counter
+increments, unknown kinds land in the event log — so a quarantined-by-
+crash shard surfaces exactly like a scenario that burned its serial retry
+budget.
 """
 
 from __future__ import annotations

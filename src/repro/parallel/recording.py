@@ -17,7 +17,9 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.controller.costs import CostLedger
-from repro.controller.supervisor import (ScenarioQuarantined,
+from repro.controller.supervisor import (EVENT_QUARANTINE,
+                                         EVENT_WORKER_FAULT,
+                                         ScenarioQuarantined,
                                          ScenarioSupervisor)
 
 #: one supervision event pinned to its charge-log position:
@@ -67,6 +69,24 @@ class StepTrace:
     charges: List[Tuple[str, float]] = field(default_factory=list)
     events: List[PackedEvent] = field(default_factory=list)
     crash_lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def quarantine_only(cls, op: str, scenario: Optional[str], reason: str,
+                        attempts: int) -> "StepTrace":
+        """A synthetic trace for a step that never ran to completion.
+
+        No charges — just the supervision events the merge replays into
+        the ledger: a ``worker-fault`` explaining what happened, then the
+        ``quarantine`` that increments the quarantine counter, mirroring
+        what a serial supervisor records when a scenario burns its retry
+        budget.  Used by :mod:`repro.parallel.health` to hand a poison
+        task to the supervision ledger.
+        """
+        events: List[PackedEvent] = [
+            (0, EVENT_WORKER_FAULT, op, scenario, reason, attempts),
+            (0, EVENT_QUARANTINE, op, scenario, reason, attempts),
+        ]
+        return cls(charges=[], events=events, crash_lines=[])
 
 
 class StepRecorder:

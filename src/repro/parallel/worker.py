@@ -17,6 +17,8 @@ hunt's wall-clock win comes from on top of sharding.
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -328,6 +330,36 @@ class WorkerProber:
             spans=spans, events=events, log_records=log_records)
 
 
+def _maybe_inject_chaos(worker_id: int) -> None:
+    """Deterministic fault injection for the self-healing layer's tests.
+
+    ``REPRO_WORKER_CHAOS`` is ``kill:<worker>:<flag-file>`` or
+    ``hang:<worker>:<flag-file>:<seconds>``; ``<worker>`` may be ``*`` to
+    target every worker (the pool-collapse case).  The fault fires in the
+    named worker right after it receives a task; the flag file is written
+    *before* firing, so the fault disarms itself once — an empty flag path
+    means fire every time (the poison-task case).  This lives in the worker
+    so the chaos smoke in CI exercises the real crash path (SIGKILL,
+    nothing flushed) rather than a simulated one.
+    """
+    spec = os.environ.get("REPRO_WORKER_CHAOS")
+    if not spec:
+        return
+    parts = spec.split(":")
+    if len(parts) < 3 or parts[1] not in (str(worker_id), "*"):
+        return
+    mode, __, flag = parts[0], parts[1], parts[2]
+    if flag:
+        if os.path.exists(flag):
+            return  # already fired once
+        with open(flag, "w") as handle:
+            handle.write("fired\n")
+    if mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif mode == "hang":
+        time.sleep(float(parts[3]) if len(parts) > 3 else 3600.0)
+
+
 def worker_main(conn, worker_id: int, factory, seed: int,
                 params: ProbeParams) -> None:
     """Forked worker loop: build the prober lazily, serve tasks until
@@ -341,6 +373,7 @@ def worker_main(conn, worker_id: int, factory, seed: int,
                 break
             if message[0] == "stop":
                 break
+            _maybe_inject_chaos(worker_id)
             started = time.perf_counter()
             try:
                 if prober is None:

@@ -27,10 +27,10 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from repro.attacks.space import ActionSpaceConfig
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, SearchError
 from repro.common.logging import LogRecord
 from repro.controller.costs import CostLedger
 from repro.controller.harness import TestbedFactory
@@ -44,6 +44,9 @@ from repro.search.weighted import ClusterWeights, WeightedGreedySearch
 from repro.telemetry.progress import ProgressLine
 from repro.telemetry.summary import TelemetrySummary, summarize
 from repro.telemetry.tracer import Tracer, maybe_span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.health import HealthPolicy, WorkerHealthReport
 
 CHECKPOINT_VERSION = 1
 
@@ -73,6 +76,10 @@ class HuntResult:
     #: (side channel only — never serialized; the main result is
     #: byte-identical to a serial hunt's)
     worker_breakdown: Optional[list] = None
+    #: what the self-healing layer did across the whole hunt (side channel
+    #: too — never serialized into the deterministic result; None when the
+    #: hunt was serial, ``eventful`` when any worker misbehaved)
+    worker_health: Optional["WorkerHealthReport"] = None
 
     def crashed_nodes(self) -> List[str]:
         """Union of crashed-node summaries across every pass."""
@@ -109,6 +116,8 @@ class HuntResult:
             lines.append("  " + q.describe())
         if self.telemetry is not None:
             lines.append("  " + self.telemetry.one_line())
+        if self.worker_health is not None and self.worker_health.eventful:
+            lines.append("  " + self.worker_health.one_line())
         if self.validation is not None:
             lines.extend("  " + line
                          for line in self.validation.describe().splitlines())
@@ -199,7 +208,8 @@ def hunt(factory: TestbedFactory, seed: int = 0,
          progress: Optional[ProgressLine] = None,
          log_events: bool = False,
          workers: int = 1,
-         injection_cache: bool = False) -> HuntResult:
+         injection_cache: bool = False,
+         health_policy: Optional["HealthPolicy"] = None) -> HuntResult:
     """Run weighted-greedy passes until a pass finds nothing new.
 
     The cluster weights persist across passes, so what pass 1 learned about
@@ -222,6 +232,14 @@ def hunt(factory: TestbedFactory, seed: int = 0,
     every injection seek.  The two are mutually exclusive: the cache
     changes what later passes charge, while the parallel merge's contract
     is to reproduce the cache-less serial ledger exactly.
+
+    ``health_policy`` tunes the pool's self-healing (task deadlines, the
+    per-worker restart budget, degrade-on-collapse — see
+    :class:`~repro.parallel.health.HealthPolicy`); crash recovery replays
+    tasks deterministically, so the byte-identity contract holds even when
+    workers die mid-pass.  A pass that still aborts (``SearchError``, e.g.
+    a pool collapse under ``degrade=False``) checkpoints the completed
+    passes first, so ``--resume`` salvages them.
     """
     if workers > 1 and fault_plan is not None:
         raise ConfigError(
@@ -233,6 +251,11 @@ def hunt(factory: TestbedFactory, seed: int = 0,
             "workers > 1 and injection_cache are mutually exclusive: "
             "cached passes charge less than the serial ledger the "
             "parallel merge reproduces")
+    if workers == 1 and health_policy is not None:
+        raise ConfigError(
+            "worker health options (--worker-timeout/--worker-retries/"
+            "--no-degrade) require workers > 1: a serial hunt has no "
+            "worker pool to heal")
     result = HuntResult()
     progress = progress or ProgressLine()
     excluded: Set[tuple] = set(exclude or ())
@@ -259,7 +282,7 @@ def hunt(factory: TestbedFactory, seed: int = 0,
             max_wait=max_wait, shared_pages=shared_pages,
             delta_snapshots=delta_snapshots, fault_schedule=fault_schedule,
             watchdog_limit=watchdog_limit, max_retries=max_retries,
-            tracer=tracer, log_events=log_events)
+            tracer=tracer, log_events=log_events, health=health_policy)
 
     def collect_world_output() -> None:
         if not log_events:
@@ -311,6 +334,16 @@ def hunt(factory: TestbedFactory, seed: int = 0,
                     save_checkpoint(checkpoint_path, system, seed, excluded,
                                     weights, result)
                 return result
+            except SearchError:
+                # A pass aborted mid-recovery (worker fault under
+                # --no-degrade, nondeterministic replay, ...).  Salvage
+                # what completed: checkpoint the finished passes so
+                # --resume continues the campaign instead of redoing it.
+                collect_world_output()
+                if checkpoint_path is not None:
+                    save_checkpoint(checkpoint_path, system, seed, excluded,
+                                    weights, result)
+                raise
             system = report.system
             result.passes.append(report)
             result.total_ledger.merge(report.ledger)
@@ -332,5 +365,6 @@ def hunt(factory: TestbedFactory, seed: int = 0,
     finally:
         if executor is not None:
             result.worker_breakdown = executor.worker_breakdown()
+            result.worker_health = executor.worker_health()
             executor.close()
     return result

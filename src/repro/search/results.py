@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.attacks.actions import AttackScenario
 from repro.controller.costs import CostLedger
@@ -11,6 +11,9 @@ from repro.controller.monitor import PerfSample
 from repro.controller.supervisor import QuarantinedScenario, SupervisorStats
 from repro.faults.validation import ValidationReport
 from repro.telemetry.summary import TelemetrySummary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.health import WorkerHealthReport
 
 
 @dataclass
@@ -64,6 +67,11 @@ class SearchReport:
     crashed_nodes: List[str] = field(default_factory=list)
     #: robustness validation of the findings (None unless --validate ran)
     validation: Optional[ValidationReport] = None
+    #: side channel, like HuntResult.worker_breakdown: what the parallel
+    #: executor's self-healing layer did this pass (None when the pass was
+    #: serial or clean).  Worker fate depends on wall-clock scheduling, so
+    #: this is never serialized into the deterministic report JSON.
+    worker_health: Optional["WorkerHealthReport"] = None
 
     @property
     def total_time(self) -> float:
@@ -91,6 +99,8 @@ class SearchReport:
         lines.extend("  " + q.describe() for q in self.quarantined)
         if self.telemetry is not None:
             lines.append("  " + self.telemetry.one_line())
+        if self.worker_health is not None and self.worker_health.eventful:
+            lines.append("  " + self.worker_health.one_line())
         if self.validation is not None:
             lines.extend("  " + line
                          for line in self.validation.describe().splitlines())

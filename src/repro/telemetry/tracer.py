@@ -19,6 +19,13 @@ the platform performed, in the order it performed them.
 Disabled tracers are free-ish: ``maybe_span`` returns a shared no-op span
 after a single flag check, and call sites attach result arguments through
 ``span.set(...)`` which the null span ignores.
+
+Span names are dotted paths owned by their emitting layer; the parallel
+executor's self-healing layer adds ``executor.worker.kill`` /
+``executor.worker.respawn`` spans plus ``executor.task.replay`` /
+``executor.task.reassign`` / ``executor.pool.degrade`` instants, all
+tagged with the worker slot — wall-clock-only by nature, so they ride the
+tracer (platform-side state) and never touch the deterministic report.
 """
 
 from __future__ import annotations
