@@ -20,6 +20,9 @@ class CrashEvent:
     time: float
     node: str
     reason: str
+    #: ``"fault"`` for target-bug crashes, ``"injected"`` for chaos-layer
+    #: crashes (mirrors ``World.crashed_node_summaries``).
+    kind: str = "fault"
 
 
 class Timeline:
@@ -31,8 +34,13 @@ class Timeline:
     # --------------------------------------------------------------- crashes
 
     def crashes(self) -> List[CrashEvent]:
-        return [CrashEvent(r.time, r.component, r.details.get("reason", ""))
-                for r in self.log.select(event="crash")]
+        out = [CrashEvent(r.time, r.component, r.details.get("reason", ""),
+                          "injected" if r.event == "crash_injected"
+                          else "fault")
+               for r in self.log.records
+               if r.event in ("crash", "crash_injected")]
+        out.sort(key=lambda c: c.time)
+        return out
 
     def first_crash(self) -> Optional[CrashEvent]:
         crashes = self.crashes()
@@ -64,6 +72,8 @@ class Timeline:
 
     def deliveries_per_second(self, bucket: float = 1.0) -> List[Tuple[float, int]]:
         """Delivery counts bucketed by virtual time (a throughput sketch)."""
+        if bucket <= 0:
+            return []
         buckets: Dict[int, int] = {}
         for r in self.log.select(component="netem", event="deliver"):
             buckets[int(r.time / bucket)] = buckets.get(

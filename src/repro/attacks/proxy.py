@@ -173,6 +173,9 @@ class MaliciousProxy:
         deliveries = action.apply(envelope, self._context())
         self.injections += 1
         self._instant(action, spec.name)
+        tap = self.emulator.causal_tap
+        if tap is not None:
+            tap.on_proxy(envelope.msg_seq, action.describe())
         if self.first_injection_time is None:
             self.first_injection_time = self.emulator.kernel.now
         if not deliveries:
@@ -199,6 +202,9 @@ class MaliciousProxy:
             self.injections += 1
             spec = self.codec.peek_type(envelope.payload)
             self._instant(action, spec.name if spec else "?")
+            tap = self.emulator.causal_tap
+            if tap is not None:
+                tap.on_proxy(envelope.msg_seq, action.describe())
             self.emulator.release_held(tag, deliveries)
 
     def _injection_tags(self):

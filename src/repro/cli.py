@@ -133,6 +133,59 @@ def _write_worker_health(args, health) -> None:
     print(f"worker-health report written to {path}")
 
 
+def _wants_forensics(args) -> bool:
+    return bool(getattr(args, "explain", False)
+                or getattr(args, "forensics", None))
+
+
+def _forensics_preflight(args) -> None:
+    """Fail before the run, not after (the --trace contract): the bundle
+    is written at the end, and a long hunt is too expensive to lose to a
+    typoed --forensics path."""
+    out_dir = getattr(args, "forensics", None)
+    if not out_dir:
+        return
+    import os
+    try:
+        os.makedirs(out_dir, exist_ok=True)
+        probe = os.path.join(out_dir, ".write-probe")
+        with open(probe, "w"):
+            pass
+        os.remove(probe)
+    except OSError as exc:
+        raise TurretError(
+            f"cannot write --forensics directory: {exc}") from exc
+
+
+def _forensics(args, factory, result) -> None:
+    """Compute and/or write forensic explanations for a run's findings.
+
+    ``result`` is a SearchReport or HuntResult; hunts compute their own
+    explanations (``explain=True``), so this only fills in the search
+    path, then writes the --forensics bundle for both.
+    """
+    if not _wants_forensics(args) or not result.findings:
+        return
+    if result.explanations is None:
+        if getattr(result, "interrupted", False):
+            return
+        from repro.forensics.explain import explain_findings
+        print(f"explaining {len(result.findings)} findings...")
+        result.explanations = explain_findings(
+            factory, result.findings, seed=args.seed,
+            threshold=AttackThreshold(delta=args.delta),
+            max_wait=getattr(args, "max_wait", None),
+            fault_schedule=_fault_schedule(args),
+            shared_pages=not args.no_shared_pages,
+            delta_snapshots=args.delta_snapshots,
+            watchdog_limit=args.watchdog)
+    out_dir = getattr(args, "forensics", None)
+    if out_dir and result.explanations:
+        from repro.forensics.report import write_forensics
+        paths = write_forensics(out_dir, result.explanations)
+        print(f"forensics written to {out_dir} ({len(paths)} files)")
+
+
 def _health_policy(args):
     """Build the pool's :class:`HealthPolicy` from CLI flags.
 
@@ -284,6 +337,7 @@ def cmd_search(args) -> int:
         include_divert=not args.fast,
         include_lying=not args.no_lying)
     tracer = _tracer(args)
+    _forensics_preflight(args)
     progress = _progress(args)
 
     types: Optional[List[str]] = None
@@ -322,6 +376,7 @@ def cmd_search(args) -> int:
             breakdown = executor.worker_breakdown()
             health_report = executor.worker_health()
         report.validation = _validate(args, factory, report.findings)
+        _forensics(args, factory, report)
         print(report.describe())
         _emit_telemetry(args, tracer, report.telemetry, log_records)
         _write_worker_ledger(args, breakdown)
@@ -357,6 +412,7 @@ def cmd_search(args) -> int:
             return EXIT_INTERRUPTED
         progress.done()
         report.validation = _validate(args, factory, report.findings)
+        _forensics(args, factory, report)
         print(report.describe())
         _emit_telemetry(args, tracer, report.telemetry, search_log_records())
     if args.json:
@@ -388,6 +444,7 @@ def cmd_hunt(args) -> int:
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume requires --checkpoint PATH")
     tracer = _tracer(args)
+    _forensics_preflight(args)
     progress = _progress(args)
     health_policy = _health_policy(args)
     result = hunt(factory, seed=args.seed, message_types=types,
@@ -406,10 +463,12 @@ def cmd_hunt(args) -> int:
                   log_events=args.log_events is not None,
                   workers=args.workers,
                   injection_cache=args.injection_cache,
-                  health_policy=health_policy)
+                  health_policy=health_policy,
+                  explain=_wants_forensics(args))
     progress.done()
     if not result.interrupted:
         result.validation = _validate(args, factory, result.findings)
+    _forensics(args, factory, result)
     print(result.describe())
     for finding in result.findings:
         print("  " + finding.describe())
@@ -546,6 +605,18 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(serial only; pass 2+ skips boot, warmup, "
                                 "and every injection seek)")
 
+    def forensics_options(p):
+        p.add_argument("--explain", action="store_true",
+                       help="re-execute each finding's benign and attacked "
+                            "branches from the same snapshot and print a "
+                            "causal explanation (first divergent message, "
+                            "suppressed phases, perf delta)")
+        p.add_argument("--forensics", default=None, metavar="DIR",
+                       help="write the full forensic bundle to DIR "
+                            "(explanations.json, markdown narratives, and "
+                            "a Chrome causal trace per finding; implies "
+                            "--explain)")
+
     def telemetry_options(p):
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="write a Chrome trace-event JSON of the run "
@@ -566,6 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     supervision(p)
     telemetry_options(p)
+    forensics_options(p)
     parallel_options(p)
     p.add_argument("--algorithm", choices=("weighted", "greedy", "brute"),
                    default="weighted")
@@ -594,6 +666,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     supervision(p)
     telemetry_options(p)
+    forensics_options(p)
     parallel_options(p, with_cache=True)
     p.add_argument("--types", default=None)
     p.add_argument("--passes", type=int, default=5)

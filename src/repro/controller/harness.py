@@ -82,7 +82,8 @@ class AttackHarness:
                  watchdog_limit: Optional[int] = None,
                  tracer: Optional[Tracer] = None,
                  log_events: bool = False,
-                 injection_cache: bool = False) -> None:
+                 injection_cache: bool = False,
+                 log_max_records: Optional[int] = None) -> None:
         self.factory = factory
         self.seed = seed
         self.threshold = threshold or AttackThreshold()
@@ -102,6 +103,9 @@ class AttackHarness:
         self.tracer = tracer
         #: enable each instance's EventLog so records can be exported
         self.log_events = log_events
+        #: ring-buffer cap applied to each instance's EventLog when the
+        #: log is enabled (None: full retention — what forensics asks for)
+        self.log_max_records = log_max_records
         #: memoize each type's injection point against the warm snapshot
         #: (the deterministic world reproduces it, so re-seeking from the
         #: warm state only re-pays execution for an identical answer)
@@ -129,6 +133,8 @@ class AttackHarness:
         world = instance.world
         if self.log_events:
             world.log.enabled = True
+            if self.log_max_records is not None:
+                world.log.max_records = self.log_max_records
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.attach_clock(lambda: world.kernel.now)
             world.instruments.enabled = True

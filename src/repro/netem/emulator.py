@@ -171,6 +171,17 @@ class NetworkEmulator:
         # Controller-side observers: fn(event, envelope) on "sent" and
         # "delivered".  Not part of emulator state (never serialized).
         self._observers: List[Callable[[str, MessageEnvelope], None]] = []
+        #: forensic causal tap (see :mod:`repro.forensics.causality`):
+        #: like observers it is controller-side and never serialized; None
+        #: (the default) makes every hook a single attribute test.
+        self.causal_tap = None
+        #: msg_seq of the envelope currently being handed to a receiver
+        #: callback — read by nodes to tag queued CPU work with its cause
+        self.current_delivery_seq: Optional[int] = None
+        #: msg_seq of the message whose handler is currently running on
+        #: some node (set by Node._dispatch); sends made inside the handler
+        #: inherit it as their causal parent
+        self.handler_cause: Optional[int] = None
         self.stats = EmulatorStats()
         # Chaos layer: per-path fault processes and the RNG stream they
         # draw from.  A world-owned emulator gets a registry stream (so
@@ -254,6 +265,9 @@ class NetworkEmulator:
         verdict = Verdict.passthrough()
         if self._interceptor is not None:
             verdict = self._interceptor(envelope)
+        if self.causal_tap is not None:
+            self.causal_tap.on_send(envelope, self.handler_cause,
+                                    verdict.kind)
 
         if verdict.kind == Verdict.DROP:
             self.stats.messages_dropped_by_proxy += 1
@@ -296,6 +310,8 @@ class NetworkEmulator:
         """Release a parked message, optionally rewritten by the controller."""
         envelope = self.peek_held(tag)
         del self._held[tag]
+        if self.causal_tap is not None:
+            self.causal_tap.on_release(envelope, deliveries)
         if deliveries is None:
             self._submit_egress(envelope, 0.0, via_device=False)
             return
@@ -323,6 +339,8 @@ class NetworkEmulator:
 
     def _submit_egress(self, envelope: MessageEnvelope, delay: float,
                        via_device: bool = True) -> None:
+        if self.causal_tap is not None:
+            self.causal_tap.on_egress(envelope, delay, via_device)
         if self._frozen:
             self._frozen_egress.append(
                 (envelope_to_record(envelope), delay, via_device))
@@ -480,10 +498,18 @@ class NetworkEmulator:
         self._count("netem.messages_delivered")
         self.log.emit("netem", "deliver", msg=envelope.msg_seq,
                       dst=str(envelope.dst), size=envelope.size)
+        if self.causal_tap is not None:
+            self.causal_tap.on_deliver(envelope)
         if self._observers:
             self._notify("delivered", envelope)
         if port.receiver is not None:
-            port.receiver(envelope)
+            # Receivers run synchronously; while one does, queued CPU work
+            # can read which message caused it (forensic lineage tagging).
+            self.current_delivery_seq = envelope.msg_seq
+            try:
+                port.receiver(envelope)
+            finally:
+                self.current_delivery_seq = None
 
     # -------------------------------------------------------- freeze/resume
 

@@ -256,7 +256,10 @@ class Node:
         completion = self.cpu.enqueue(self.kernel.now, len(payload), extra)
         self._pending_seq += 1
         eid = self._pending_seq
-        self._pending[eid] = (completion, _node_record(src), payload)
+        # The emulator's msg_seq of the delivery that queued this work, so
+        # the handler (and anything it sends) can be causally attributed.
+        cause = self.emulator.current_delivery_seq
+        self._pending[eid] = (completion, _node_record(src), payload, cause)
         self._pending_handles[eid] = self.kernel.schedule_at(
             completion, self._dispatch, eid, priority=PRIORITY_CPU)
 
@@ -265,7 +268,7 @@ class Node:
         self._pending_handles.pop(eid, None)
         if entry is None or self.crashed:
             return
-        __, src_record, payload = entry
+        __, src_record, payload, cause = entry
         try:
             message = self.codec.decode(payload)
         except CodecError:
@@ -273,7 +276,18 @@ class Node:
             self.malformed_dropped += 1
             return
         self.log.emit(str(self.node_id), "recv", type=message.type_name)
-        self._guard(self.app.on_message, _node_from_record(src_record), message)
+        emulator = self.emulator
+        if emulator.causal_tap is not None:
+            emulator.causal_tap.on_handle(cause, self.node_id,
+                                          message.type_name)
+        # Sends made inside the handler inherit this message as their
+        # causal parent (handler -> induced-send edges).
+        emulator.handler_cause = cause
+        try:
+            self._guard(self.app.on_message,
+                        _node_from_record(src_record), message)
+        finally:
+            emulator.handler_cause = None
 
     # --------------------------------------------------------------- metrics
 
@@ -292,8 +306,9 @@ class Node:
             "malformed_dropped": self.malformed_dropped,
             "timers": dict(self._timers),
             "pending": [
-                (eid, due, src_record, payload)
-                for eid, (due, src_record, payload) in sorted(self._pending.items())
+                (eid, due, src_record, payload, cause)
+                for eid, (due, src_record, payload, cause)
+                in sorted(self._pending.items())
             ],
             "pending_seq": self._pending_seq,
             "dedup_fifo": list(self._dedup_fifo),
@@ -319,8 +334,15 @@ class Node:
         self.crash_reason = state["crash_reason"]
         self.malformed_dropped = state["malformed_dropped"]
         self._timers = dict(state["timers"])
-        self._pending = {eid: (due, tuple(src), payload)
-                         for eid, due, src, payload in state["pending"]}
+        # Pre-forensics snapshots carry 4-tuples without the lineage cause.
+        self._pending = {}
+        for entry in state["pending"]:
+            if len(entry) == 4:
+                eid, due, src, payload = entry
+                cause = None
+            else:
+                eid, due, src, payload, cause = entry
+            self._pending[eid] = (due, tuple(src), payload, cause)
         self._pending_seq = state["pending_seq"]
         self._dedup_fifo = list(state["dedup_fifo"])
         self._dedup_set = set(self._dedup_fifo)
@@ -337,6 +359,6 @@ class Node:
                 self._timer_handles[name] = self.kernel.schedule_at(
                     max(deadline, now), self._timer_fired, name,
                     priority=PRIORITY_TIMER)
-            for eid, (due, __, __payload) in self._pending.items():
+            for eid, (due, __, __payload, __cause) in self._pending.items():
                 self._pending_handles[eid] = self.kernel.schedule_at(
                     max(due, now), self._dispatch, eid, priority=PRIORITY_CPU)

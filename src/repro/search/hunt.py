@@ -80,6 +80,10 @@ class HuntResult:
     #: too — never serialized into the deterministic result; None when the
     #: hunt was serial, ``eventful`` when any worker misbehaved)
     worker_health: Optional["WorkerHealthReport"] = None
+    #: forensic explanations of the findings (side channel as well:
+    #: computed post-merge with ``explain=True``, never serialized — the
+    #: result JSON is byte-identical with forensics on or off)
+    explanations: Optional[list] = None
 
     def crashed_nodes(self) -> List[str]:
         """Union of crashed-node summaries across every pass."""
@@ -118,6 +122,8 @@ class HuntResult:
             lines.append("  " + self.telemetry.one_line())
         if self.worker_health is not None and self.worker_health.eventful:
             lines.append("  " + self.worker_health.one_line())
+        if self.explanations:
+            lines.extend("  " + e.one_line() for e in self.explanations)
         if self.validation is not None:
             lines.extend("  " + line
                          for line in self.validation.describe().splitlines())
@@ -209,7 +215,8 @@ def hunt(factory: TestbedFactory, seed: int = 0,
          log_events: bool = False,
          workers: int = 1,
          injection_cache: bool = False,
-         health_policy: Optional["HealthPolicy"] = None) -> HuntResult:
+         health_policy: Optional["HealthPolicy"] = None,
+         explain: bool = False) -> HuntResult:
     """Run weighted-greedy passes until a pass finds nothing new.
 
     The cluster weights persist across passes, so what pass 1 learned about
@@ -240,6 +247,13 @@ def hunt(factory: TestbedFactory, seed: int = 0,
     workers die mid-pass.  A pass that still aborts (``SearchError``, e.g.
     a pool collapse under ``degrade=False``) checkpoints the completed
     passes first, so ``--resume`` salvages them.
+
+    ``explain=True`` computes a forensic
+    :class:`~repro.forensics.explain.AttackExplanation` for every finding
+    after the hunt converges (post-merge, on a dedicated testbed with a
+    private ledger), into ``result.explanations`` — a side channel the
+    serialized result never includes, so the hunt JSON stays byte-
+    identical with forensics on or off, serial or parallel.
     """
     if workers > 1 and fault_plan is not None:
         raise ConfigError(
@@ -262,6 +276,19 @@ def hunt(factory: TestbedFactory, seed: int = 0,
     weights = ClusterWeights()
     system = "unknown"
 
+    def attach_explanations() -> None:
+        # Post-merge forensics: the finding list is already identical
+        # across worker counts, so explaining it on a dedicated serial
+        # harness yields worker-invariant explanations.
+        if not explain or not result.findings or result.interrupted:
+            return
+        from repro.forensics.explain import explain_findings
+        result.explanations = explain_findings(
+            factory, result.findings, seed=seed, threshold=threshold,
+            max_wait=max_wait, fault_schedule=fault_schedule,
+            shared_pages=shared_pages, delta_snapshots=delta_snapshots,
+            watchdog_limit=watchdog_limit)
+
     if resume:
         if checkpoint_path is None:
             raise ConfigError("resume requires a checkpoint path")
@@ -270,7 +297,10 @@ def hunt(factory: TestbedFactory, seed: int = 0,
             _restore_from_checkpoint(data, seed, excluded, weights, result)
             system = data["system"]
             if data.get("complete"):
-                return result  # campaign already converged; nothing to redo
+                # Campaign already converged; nothing to redo (but the
+                # restored findings can still be explained on request).
+                attach_explanations()
+                return result
 
     executor = None
     search: Optional[WeightedGreedySearch] = None
@@ -367,4 +397,5 @@ def hunt(factory: TestbedFactory, seed: int = 0,
             result.worker_breakdown = executor.worker_breakdown()
             result.worker_health = executor.worker_health()
             executor.close()
+    attach_explanations()
     return result

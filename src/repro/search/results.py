@@ -72,6 +72,11 @@ class SearchReport:
     #: serial or clean).  Worker fate depends on wall-clock scheduling, so
     #: this is never serialized into the deterministic report JSON.
     worker_health: Optional["WorkerHealthReport"] = None
+    #: forensic :class:`~repro.forensics.explain.AttackExplanation` list
+    #: (side channel too: computed post-search on demand, and never part
+    #: of the serialized report — the report JSON must stay byte-identical
+    #: whether or not --explain ran)
+    explanations: Optional[list] = None
 
     @property
     def total_time(self) -> float:
@@ -101,6 +106,8 @@ class SearchReport:
             lines.append("  " + self.telemetry.one_line())
         if self.worker_health is not None and self.worker_health.eventful:
             lines.append("  " + self.worker_health.one_line())
+        if self.explanations:
+            lines.extend("  " + e.one_line() for e in self.explanations)
         if self.validation is not None:
             lines.extend("  " + line
                          for line in self.validation.describe().splitlines())

@@ -91,6 +91,113 @@ class TestTrafficTap:
         assert "PrePrepare" in rendered
 
 
+class StubEmulator:
+    """Observer-registration surface TrafficTap needs, nothing more."""
+
+    def __init__(self):
+        self.observers = []
+
+    def add_observer(self, observer):
+        self.observers.append(observer)
+
+    def notify(self, event, envelope):
+        for observer in self.observers:
+            observer(event, envelope)
+
+
+class TestTrafficTapDirect:
+    def _tap(self):
+        from repro.wire.codec import ProtocolCodec
+        from repro.wire.parser import parse_schema
+        emulator = StubEmulator()
+        schema = parse_schema("protocol p\nmessage M = 1 {\n    x: u32\n}\n")
+        codec = ProtocolCodec(schema)
+        return emulator, codec, TrafficTap(emulator, codec)
+
+    def _envelope(self, codec, mtype, **fields):
+        from repro.common.ids import replica
+        from repro.netem.packets import MessageEnvelope
+        from repro.wire.codec import Message
+        payload = codec.encode(Message(mtype, fields))
+        return MessageEnvelope(1, replica(0), replica(1), "udp", payload)
+
+    def test_per_type_aggregation(self):
+        emulator, codec, tap = self._tap()
+        msg = self._envelope(codec, "M", x=1)
+        for __ in range(3):
+            emulator.notify("sent", msg)
+        emulator.notify("delivered", msg)
+        stats = tap.by_type["M"]
+        assert stats.sent == 3 and stats.delivered == 1
+        assert stats.bytes_sent == 3 * msg.size
+        assert tap.total_sent() == 3
+        assert tap.active_types() == ["M"]
+        assert tap.active_types(min_sent=4) == []
+
+    def test_unknown_payload_counted_separately(self):
+        emulator, __, tap = self._tap()
+        from repro.common.ids import replica
+        from repro.netem.packets import MessageEnvelope
+        bogus = MessageEnvelope(1, replica(0), replica(1), "udp", b"")
+        emulator.notify("sent", bogus)
+        assert tap.unknown.sent == 1
+        assert tap.active_types() == []
+        assert "<unknown>" in tap.render()
+
+
+class TestTimelineDirect:
+    """Timeline queries over hand-built logs, including the edge cases."""
+
+    def _log(self, records=()):
+        from repro.common.logging import EventLog
+        t = [0.0]
+        log = EventLog(clock=lambda: t[0], enabled=True)
+        for time, component, event, details in records:
+            t[0] = time
+            log.emit(component, event, **details)
+        return log
+
+    def test_empty_log_queries_return_empty(self):
+        from repro.analysis.timeline import Timeline
+        timeline = Timeline(self._log())
+        assert timeline.crashes() == []
+        assert timeline.first_crash() is None
+        assert timeline.proxy_actions() == []
+        assert timeline.event_counts() == {}
+        assert timeline.sends_by_type() == {}
+        assert timeline.deliveries_per_second() == []
+        assert "events recorded: 0" in timeline.render()
+
+    def test_zero_bucket_returns_empty_instead_of_raising(self):
+        from repro.analysis.timeline import Timeline
+        log = self._log([(1.0, "netem", "deliver", {"msg": 1})])
+        timeline = Timeline(log)
+        assert timeline.deliveries_per_second(bucket=0.0) == []
+        assert timeline.deliveries_per_second(bucket=-1.0) == []
+        assert timeline.deliveries_per_second(bucket=1.0) == [(1.0, 1)]
+
+    def test_injected_crashes_included_with_kind(self):
+        from repro.analysis.timeline import Timeline
+        log = self._log([
+            (2.0, "replica1", "crash_injected", {"reason": "chaos"}),
+            (1.0, "replica0", "crash", {"reason": "SegmentationFault"}),
+        ])
+        crashes = Timeline(log).crashes()
+        assert [(c.node, c.kind) for c in crashes] == \
+            [("replica0", "fault"), ("replica1", "injected")]
+        assert crashes[0].time == 1.0  # sorted by time
+
+    def test_proxy_actions_query(self):
+        from repro.analysis.timeline import Timeline
+        log = self._log([
+            (1.0, "netem", "proxy_drop", {"msg": 5}),
+            (1.5, "netem", "deliver", {"msg": 6}),
+            (2.0, "netem", "proxy_hold", {"msg": 7, "tag": "injection:1"}),
+        ])
+        actions = Timeline(log).proxy_actions()
+        assert [r.event for r in actions] == ["proxy_drop", "proxy_hold"]
+
+
 class TestRegistry:
     def test_all_systems_present(self):
         assert system_names() == ["aardvark", "byzgen", "paxos", "pbft",
