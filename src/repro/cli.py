@@ -443,6 +443,10 @@ def cmd_hunt(args) -> int:
         types = list(entry.active_types)
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume requires --checkpoint PATH")
+    snapshot_budget = None
+    if args.snapshot_budget is not None:
+        from repro.store.budget import parse_bytes
+        snapshot_budget = parse_bytes(args.snapshot_budget)
     tracer = _tracer(args)
     _forensics_preflight(args)
     progress = _progress(args)
@@ -464,7 +468,9 @@ def cmd_hunt(args) -> int:
                   workers=args.workers,
                   injection_cache=args.injection_cache,
                   health_policy=health_policy,
-                  explain=_wants_forensics(args))
+                  explain=_wants_forensics(args),
+                  store_dir=args.store,
+                  snapshot_budget=snapshot_budget)
     progress.done()
     if not result.interrupted:
         result.validation = _validate(args, factory, result.findings)
@@ -489,6 +495,10 @@ def cmd_hunt(args) -> int:
             print(f"checkpoint written to {args.checkpoint}; "
                   f"resume with: repro hunt {args.system} "
                   f"--checkpoint {args.checkpoint} --resume")
+        if args.store:
+            print(f"run store is durable at {args.store}; "
+                  f"resume with: repro hunt {args.system} "
+                  f"--store {args.store}")
         return EXIT_INTERRUPTED
     return 0 if result.findings or args.allow_empty else 1
 
@@ -678,6 +688,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persist hunt state to PATH after every pass")
     p.add_argument("--resume", action="store_true",
                    help="resume an interrupted hunt from --checkpoint")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="durable run store: journal every completed probe "
+                        "(CRC32 + fsync) and checkpoint every pass to DIR; "
+                        "re-running with the same DIR resumes a killed "
+                        "hunt mid-pass with a byte-identical result "
+                        "(subsumes --checkpoint/--resume)")
+    p.add_argument("--snapshot-budget", default=None, metavar="BYTES",
+                   help="bound snapshot-cache memory (e.g. 64k, 2M, 1G); "
+                        "least-recently-used snapshots are evicted and "
+                        "deterministically rebuilt on demand (needs "
+                        "--injection-cache, --store, or --workers)")
     p.add_argument("--json", default=None,
                    help="write the hunt result as JSON")
     p.add_argument("--markdown", action="store_true",

@@ -29,6 +29,7 @@ from repro.controller.monitor import (AttackThreshold, PerfSample,
 from repro.controller.supervisor import OP_BOOT, OP_PROXY, FaultPlan
 from repro.runtime.world import World
 from repro.telemetry.tracer import NULL_SPAN, Tracer
+from repro.vm.snapshots import SnapshotStore
 from repro.wire.schema import ProtocolSchema
 
 
@@ -83,7 +84,8 @@ class AttackHarness:
                  tracer: Optional[Tracer] = None,
                  log_events: bool = False,
                  injection_cache: bool = False,
-                 log_max_records: Optional[int] = None) -> None:
+                 log_max_records: Optional[int] = None,
+                 snapshot_budget=None) -> None:
         self.factory = factory
         self.seed = seed
         self.threshold = threshold or AttackThreshold()
@@ -110,12 +112,19 @@ class AttackHarness:
         #: (the deterministic world reproduces it, so re-seeking from the
         #: warm state only re-pays execution for an identical answer)
         self.injection_cache = injection_cache
+        #: optional :class:`~repro.store.budget.SnapshotBudget` bounding the
+        #: injection-point cache by stored bytes; evicted entries rebuild
+        #: deterministically on demand, charged to the budget's own ledger
+        self.snapshot_budget = snapshot_budget
         self.instance: Optional[TestbedInstance] = None
         self.snapshotter: Optional[DistributedSnapshotter] = None
         self.monitor: Optional[PerformanceMonitor] = None
         self.warm_snapshot: Optional[WorldSnapshot] = None
         #: (message_type, warm epoch) -> InjectionPoint
-        self._injection_points: dict = {}
+        self._injection_points = SnapshotStore(
+            budget=snapshot_budget,
+            size_of=lambda point: point.snapshot.cluster_snapshot
+            .stored_bytes())
         #: bumped by every (re)build, so cache entries keyed against an old
         #: warm snapshot can never leak into a rebuilt world
         self._warm_epoch = 0
@@ -227,6 +236,39 @@ class AttackHarness:
             return None
         return self._injection_points.get((message_type, self._warm_epoch))
 
+    def evicted_injection(self, message_type: str) -> bool:
+        """Whether this type's cache entry was evicted by the byte budget
+        (a capacity miss: the deterministic world can rebuild it)."""
+        return self._injection_points.was_evicted(
+            (message_type, self._warm_epoch))
+
+    def rebuild_injection(self, message_type: str,
+                          max_wait: Optional[float] = None
+                          ) -> Optional[InjectionPoint]:
+        """Re-derive a budget-evicted injection point from the warm state.
+
+        The deterministic world reproduces the identical point, so the
+        only difference from a cache hit is where the time goes: every
+        charge (warm restore, seek execution, snapshot save) lands on the
+        *budget's* side-channel ledger, keeping the report ledger — and
+        therefore the report JSON — byte-identical to an unbudgeted run.
+        Returns None unless this is genuinely a capacity miss.
+        """
+        if self.snapshot_budget is None \
+                or not self.evicted_injection(message_type):
+            return None
+        instance = self._require_instance()
+        ledger = self.ledger
+        self.ledger = sub = CostLedger()
+        try:
+            self.restore(self.warm_snapshot)
+            instance.proxy.clear_policy()
+            point = self.run_to_injection(message_type, max_wait=max_wait)
+        finally:
+            self.ledger = ledger
+            self.snapshot_budget.note_rebuild(sub.total())
+        return point
+
     def run_to_injection(self, message_type: str,
                          max_wait: Optional[float] = None
                          ) -> Optional[InjectionPoint]:
@@ -265,8 +307,8 @@ class AttackHarness:
                     point = InjectionPoint(info["message_type"], info["time"],
                                            info["src"], info["dst"], snapshot)
                     if self.injection_cache:
-                        self._injection_points[
-                            (message_type, self._warm_epoch)] = point
+                        self._injection_points.put(
+                            (message_type, self._warm_epoch), point)
                     return point
             except BaseException:
                 # An exception mid-seek (watchdog trip, snapshot fault...)

@@ -87,6 +87,13 @@ class _PoolState:
     returns: Dict[int, WorkerReturn] = field(default_factory=dict)
     #: tasks to run in-process after the pool collapsed
     backlog: List[_Pending] = field(default_factory=list)
+    #: slot order in which results are journaled to the run store; a slot
+    #: flushes only once every earlier slot has returned, so the journal's
+    #: record order is deterministic whatever order workers finish in
+    flush_order: List[int] = field(default_factory=list)
+    #: slots whose result is synthetic (a quarantined poison task), never
+    #: journaled — replaying it would poison a clean resume
+    synthetic: set = field(default_factory=set)
 
 
 class ScenarioExecutor:
@@ -105,7 +112,9 @@ class ScenarioExecutor:
                  rounds: int = 3, confirmations: int = 2,
                  tracer: Optional[Tracer] = None,
                  log_events: bool = False,
-                 health: Optional[HealthPolicy] = None) -> None:
+                 health: Optional[HealthPolicy] = None,
+                 store=None,
+                 snapshot_budget: Optional[int] = None) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         if algorithm not in ALGORITHMS:
@@ -120,6 +129,10 @@ class ScenarioExecutor:
         self.confirmations = confirmations
         self.tracer = tracer
         self.policy = health or HealthPolicy()
+        #: durable :class:`~repro.store.runstore.RunStore` (duck-typed):
+        #: journal-covered types are answered from disk, fresh probes are
+        #: journaled; None = no durability
+        self.store = store
         #: an unbooted instance: the schema/name/search-type oracle the
         #: serial algorithm reads off its own harness
         self._instance = factory(seed)
@@ -131,15 +144,21 @@ class ScenarioExecutor:
             fault_schedule=fault_schedule, watchdog_limit=watchdog_limit,
             max_retries=max_retries,
             trace=tracer is not None and tracer.enabled,
-            log_events=log_events)
+            log_events=log_events,
+            snapshot_budget=snapshot_budget)
         start_methods = multiprocessing.get_all_start_methods()
         self._use_fork = workers > 1 and "fork" in start_methods
         self._health = HealthMonitor(self.policy, workers, tracer=tracer)
         self._degraded = False
         self._reassigned = 0
         #: the first startup trace ever seen; every worker — including
-        #: respawned replacements in later passes — must replay it bitwise
+        #: respawned replacements in later passes — must replay it bitwise.
+        #: A store with a journaled startup seeds the reference, so a
+        #: resumed hunt's live boots are checked against the original's.
         self._startup_reference: Optional[StartupProbe] = None
+        if store is not None and store.startup is not None:
+            self._startup_reference = store.startup
+        self._budget_counters: Dict[int, Dict[str, float]] = {}
         self._procs: Dict[int, multiprocessing.Process] = {}
         self._conns: Dict[int, connection.Connection] = {}
         self._inline: Dict[int, WorkerProber] = {}
@@ -201,8 +220,19 @@ class ScenarioExecutor:
             if worker not in self._procs:
                 self._spawn(worker)
         elif worker not in self._inline:
-            self._inline[worker] = WorkerProber(worker, self.factory,
-                                                self.seed, self.params)
+            prober = WorkerProber(worker, self.factory, self.seed,
+                                  self.params)
+            if self.store is not None:
+                # In-process probers journal each fresh probe directly (the
+                # finest durability granularity) and start pre-seeded, so a
+                # partially-journaled type resumes mid-walk.  Forked workers
+                # are neither: they re-probe their shard fresh — identical
+                # traces, by determinism — and the parent journals their
+                # returns (see _flush_journal), because two processes
+                # appending to one journal would interleave records.
+                self.store.seed_prober(prober)
+                prober.probe_sink = self.store
+            self._inline[worker] = prober
 
     # ------------------------------------------------------------- dispatch
 
@@ -234,6 +264,7 @@ class ScenarioExecutor:
     def _dispatch_fork(self, tasks: Dict[int, tuple]
                        ) -> Dict[int, WorkerReturn]:
         state = _PoolState()
+        state.flush_order = sorted(tasks)
         for worker in sorted(tasks):
             task = tasks[worker]
             self._submit(worker, _Pending(task=task, slot=worker,
@@ -323,11 +354,32 @@ class ScenarioExecutor:
                     f"{entry.units} units)",
                     state.pending.pop(worker), state)
 
-    @staticmethod
-    def _record(slot: int, payload: WorkerReturn, state: _PoolState) -> None:
+    def _record(self, slot: int, payload: WorkerReturn, state: _PoolState,
+                synthetic: bool = False) -> None:
         if slot in state.returns:  # pragma: no cover - defensive
             raise SearchError(f"duplicate result for worker slot {slot}")
         state.returns[slot] = payload
+        if synthetic:
+            state.synthetic.add(slot)
+        self._flush_journal(state)
+
+    def _flush_journal(self, state: _PoolState) -> None:
+        """Journal finished slots' probes in slot order, as far as results
+        have arrived contiguously.  Waiting for the prefix — instead of
+        journaling on arrival — keeps the journal's byte content a pure
+        function of the hunt, whatever order the pool finishes in; a kill
+        mid-pass still persists every already-flushed slot."""
+        if self.store is None:
+            return
+        while state.flush_order and state.flush_order[0] in state.returns:
+            slot = state.flush_order.pop(0)
+            if slot in state.synthetic:
+                continue
+            ret = state.returns[slot]
+            if ret.startup is not None:
+                self.store.journal_startup(ret.startup)
+            for probe in ret.types:
+                self.store.journal_type(probe)
 
     # ------------------------------------------------------------- recovery
 
@@ -372,7 +424,8 @@ class ScenarioExecutor:
                 self._record(entry.slot, quarantined_return(
                     worker, entry.task,
                     f"poison task killed {crashes} workers "
-                    f"(last {kind}: {detail})", crashes), state)
+                    f"(last {kind}: {detail})", crashes), state,
+                    synthetic=True)
             else:
                 redo.append(entry)
         redo.extend(state.queue.pop(worker, ()))
@@ -450,6 +503,10 @@ class ScenarioExecutor:
             if self.tracer is not None and self.tracer.enabled:
                 self.tracer.adopt(ret.spans, ret.events, worker=ret.worker)
             self._log_records.extend(ret.log_records)
+            if ret.budget_counters:
+                # Cumulative per worker: the latest snapshot replaces the
+                # previous one rather than double-counting it.
+                self._budget_counters[ret.worker] = dict(ret.budget_counters)
 
     def _shared_startup(self, returns: Dict[int, WorkerReturn]
                         ) -> StartupProbe:
@@ -507,8 +564,25 @@ class ScenarioExecutor:
             t: [a for a in self._space.actions_for(t)
                 if AttackScenario(t, a).to_record() not in excluded]
             for t in types}
+        probes: Dict[str, TypeProbe] = {}
+        todo = list(types)
+        if self.store is not None:
+            # Types the journal fully covers are answered from disk; their
+            # recorded traces replay through the merge exactly as a live
+            # worker's would.  Partially covered types stay in the shards —
+            # an in-process prober resumes mid-walk from its seeds, a
+            # forked worker re-probes (identical traces) and the journal's
+            # dedupe absorbs the overlap.
+            covered = [t for t in todo
+                       if self.store.covers(t, actions_by_type[t],
+                                            self.threshold,
+                                            early_stop=self.params
+                                            .early_stop)]
+            for message_type in covered:
+                probes[message_type] = self.store.type_probe(message_type)
+            todo = [t for t in todo if t not in set(covered)]
         shards: Dict[int, List[str]] = {}
-        for message_type in types:
+        for message_type in todo:
             if not actions_by_type[message_type]:
                 continue
             shards.setdefault(self._pin(message_type), []).append(message_type)
@@ -521,7 +595,6 @@ class ScenarioExecutor:
                  for worker, shard in shards.items()}
         returns = self._dispatch(tasks)
         startup = self._shared_startup(returns)
-        probes: Dict[str, TypeProbe] = {}
         for __, ret in sorted(returns.items()):
             for probe in ret.types:
                 probes[probe.message_type] = probe
@@ -570,6 +643,16 @@ class ScenarioExecutor:
     def worker_health(self) -> WorkerHealthReport:
         """Everything the self-healing layer did, clean or not."""
         return self._health.report()
+
+    def budget_counters(self) -> Dict[str, float]:
+        """Aggregate ``snapshot.cache.*`` counters across the pool (a side
+        channel, like :meth:`worker_breakdown`; approximate after a worker
+        respawn, whose replacement restarts its counters)."""
+        total: Dict[str, float] = {}
+        for __, counters in sorted(self._budget_counters.items()):
+            for name, value in counters.items():
+                total[name] = total.get(name, 0.0) + value
+        return total
 
     def take_log_records(self) -> list:
         """Drain EventLog records gathered from the workers so far."""

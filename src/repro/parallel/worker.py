@@ -26,11 +26,12 @@ from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.attacks.actions import AttackScenario, MaliciousAction
 from repro.attacks.space import ActionSpaceConfig
+from repro.common.errors import SearchError
 from repro.controller.harness import AttackHarness
 from repro.controller.monitor import AttackThreshold, PerfSample
 from repro.parallel.recording import (RecordingLedger, RecordingSupervisor,
                                       StepRecorder, StepTrace)
-from repro.search.base import SearchAlgorithm, is_attack_sample
+from repro.search.base import SearchAlgorithm, TypeContext, is_attack_sample
 from repro.search.brute import BruteForceSearch
 from repro.telemetry.tracer import Tracer
 
@@ -53,6 +54,9 @@ class ProbeParams:
     max_retries: int = 2
     trace: bool = False
     log_events: bool = False
+    #: byte budget bounding each prober's retained per-type contexts
+    #: (None = unbounded); see :class:`repro.store.budget.SnapshotBudget`
+    snapshot_budget: Optional[int] = None
 
     @property
     def early_stop(self) -> bool:
@@ -132,6 +136,9 @@ class WorkerReturn:
     events: list = field(default_factory=list)
     #: worker-side EventLog records since the last task
     log_records: list = field(default_factory=list)
+    #: this worker's cumulative ``snapshot.cache.*`` budget counters
+    #: (side-channel, like ``by_category``; empty when unbudgeted)
+    budget_counters: Dict[str, float] = field(default_factory=dict)
 
 
 class WorkerProber:
@@ -170,6 +177,14 @@ class WorkerProber:
         self._baseline: Optional[BaselineProbe] = None
         #: message_type -> {"context", "ctx", "evals": {record: EvalProbe}}
         self._types: Dict[str, dict] = {}
+        #: duck-typed durable sink (a :class:`repro.store.runstore.RunStore`)
+        #: receiving every *fresh* probe; None = no journaling
+        self.probe_sink = None
+        self.budget = None
+        if params.snapshot_budget is not None:
+            # Function-level import: repro.store imports this module.
+            from repro.store.budget import SnapshotBudget
+            self.budget = SnapshotBudget(params.snapshot_budget)
         #: scenario record -> ScenarioProbe (brute)
         self._scenarios: Dict[tuple, ScenarioProbe] = {}
         self._span_mark = 0
@@ -183,6 +198,8 @@ class WorkerProber:
             with StepRecorder(self.search) as step:
                 self.search._start_run()
             self._startup = StartupProbe(step.trace, step.quarantined)
+            if self.probe_sink is not None:
+                self.probe_sink.journal_startup(self._startup)
         return self._startup
 
     def probe_types(self, message_types: Sequence[str],
@@ -211,9 +228,15 @@ class WorkerProber:
                                    quarantined=step.quarantined)
             entry = {"context": context, "ctx": ctx, "evals": {}}
             self._types[message_type] = entry
+            if self.probe_sink is not None:
+                self.probe_sink.journal_context(message_type, context)
+            self._admit_ctx(message_type, entry)
         context = entry["context"]
         evals: List[EvalProbe] = []
-        if context.quarantined is None and entry["ctx"] is not None:
+        # Gate on the *recorded* outcome, not the live ctx: a journal-seeded
+        # or budget-evicted entry has ctx=None but context.found=True, and
+        # must still walk (cached evals answer; fresh ones lazily re-acquire).
+        if context.quarantined is None and context.found:
             actions = [a for a in space.actions_for(message_type)
                        if AttackScenario(message_type, a).to_record()
                        not in exclude]
@@ -227,7 +250,7 @@ class WorkerProber:
                     clusters.setdefault(action.cluster, []).append(action)
                 for group in clusters.values():
                     for action in group:
-                        probe = self._eval_action(entry, action)
+                        probe = self._eval_action(message_type, entry, action)
                         evals.append(probe)
                         if (probe.quarantined is None
                                 and is_attack_sample(self.search.threshold,
@@ -236,14 +259,19 @@ class WorkerProber:
                             break
             else:
                 for action in actions:
-                    evals.append(self._eval_action(entry, action))
+                    evals.append(self._eval_action(message_type, entry,
+                                                   action))
         return TypeProbe(message_type, context, evals)
 
-    def _eval_action(self, entry: dict,
+    def _eval_action(self, message_type: str, entry: dict,
                      action: MaliciousAction) -> EvalProbe:
         record = action.to_record()
         probe = entry["evals"].get(record)
         if probe is None:
+            if entry["ctx"] is None:
+                self._reacquire_context(message_type, entry)
+            elif self.budget is not None:
+                self.budget.touch(message_type)
             sample = None
             with StepRecorder(self.search) as step:
                 sample = self.search._measure_action(entry["ctx"], action)
@@ -256,7 +284,48 @@ class WorkerProber:
                               sample if step.quarantined is None else None,
                               step.trace, step.quarantined)
             entry["evals"][record] = probe
+            if self.probe_sink is not None:
+                self.probe_sink.journal_eval(message_type, probe)
         return probe
+
+    def _reacquire_context(self, message_type: str, entry: dict) -> None:
+        """Re-derive a seeded/evicted type's live injection context.
+
+        Runs **off the books**: outside any :class:`StepRecorder`, so none
+        of its ledger charges enter recorded traces — the merged report
+        stays byte-identical to a run that never lost the context.  The
+        deterministic world reproduces the identical injection point from
+        the warm state; losing it now means the world diverged, which is a
+        hard error rather than a quietly different report.
+        """
+        search = self.search
+        before = search.ledger.total()
+        if self.budget is not None:
+            self.budget.miss()
+        try:
+            injection = search._seek_injection(message_type)
+            if injection is None:
+                raise SearchError(
+                    f"injection point for {message_type} disappeared on "
+                    f"re-acquisition; deterministic world diverged")
+            baseline = search.harness.branch_measure(injection, None)
+        finally:
+            if self.budget is not None:
+                self.budget.note_rebuild(search.ledger.total() - before)
+        entry["ctx"] = TypeContext(message_type, injection, baseline)
+        self._admit_ctx(message_type, entry)
+
+    def _admit_ctx(self, message_type: str, entry: dict) -> None:
+        if self.budget is None or entry["ctx"] is None:
+            return
+        size = (entry["ctx"].injection.snapshot
+                .cluster_snapshot.stored_bytes())
+        self.budget.admit(message_type, size, self._evict_ctx)
+
+    def _evict_ctx(self, message_type: str) -> None:
+        entry = self._types.get(message_type)
+        if entry is not None:
+            entry["ctx"] = None
 
     # ----------------------------------------------------------------- brute
 
@@ -327,7 +396,9 @@ class WorkerProber:
             worker=self.worker_id, startup=startup, types=list(types),
             baseline=baseline, scenarios=list(scenarios),
             by_category=dict(self.search.ledger.by_category),
-            spans=spans, events=events, log_records=log_records)
+            spans=spans, events=events, log_records=log_records,
+            budget_counters=(dict(self.budget.counters())
+                             if self.budget is not None else {}))
 
 
 def _maybe_inject_chaos(worker_id: int) -> None:

@@ -76,7 +76,8 @@ class SearchAlgorithm:
                  log_events: bool = False,
                  injection_cache: bool = False,
                  reuse_testbed: bool = False,
-                 ledger: Optional[CostLedger] = None) -> None:
+                 ledger: Optional[CostLedger] = None,
+                 snapshot_budget=None) -> None:
         self.factory = factory
         self.seed = seed
         self.threshold = threshold or AttackThreshold()
@@ -98,6 +99,9 @@ class SearchAlgorithm:
         #: AttackHarness.cached_injection); later passes of a hunt restore
         #: the cached branch snapshot instead of re-seeking
         self.injection_cache = injection_cache
+        #: byte budget (a :class:`~repro.store.budget.SnapshotBudget`)
+        #: bounding the injection-point snapshot cache; None = unbounded
+        self.snapshot_budget = snapshot_budget
         #: keep the booted testbed across run() calls instead of re-booting
         #: every pass — the enabler for cross-pass injection-cache hits
         self.reuse_testbed = reuse_testbed
@@ -123,7 +127,8 @@ class SearchAlgorithm:
                              watchdog_limit=self.watchdog_limit,
                              tracer=self.tracer,
                              log_events=self.log_events,
-                             injection_cache=self.injection_cache)
+                             injection_cache=self.injection_cache,
+                             snapshot_budget=self.snapshot_budget)
 
     def _note_crashes(self) -> None:
         """Record every currently crashed node (with its cause) so the
@@ -231,6 +236,13 @@ class SearchAlgorithm:
         cached = self.harness.cached_injection(message_type)
         if cached is not None:
             return cached
+        # A budget-evicted entry is a *capacity* miss: rebuild it from the
+        # warm state with every charge routed to the budget's side-channel
+        # ledger, so the report ledger matches an unbudgeted run's exactly.
+        rebuilt = self.harness.rebuild_injection(message_type,
+                                                 max_wait=self.max_wait)
+        if rebuilt is not None:
+            return rebuilt
         self.harness.restore(self.harness.warm_snapshot)
         self.harness.proxy.clear_policy()
         return self.harness.run_to_injection(message_type,

@@ -47,8 +47,11 @@ from repro.telemetry.tracer import Tracer, maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.parallel.health import HealthPolicy, WorkerHealthReport
+    from repro.store.budget import StoreReport
 
-CHECKPOINT_VERSION = 1
+#: v2 adds ``written_at_pass`` (how many passes the writer had completed);
+#: v1 checkpoints migrate forward transparently
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
@@ -84,6 +87,10 @@ class HuntResult:
     #: computed post-merge with ``explain=True``, never serialized — the
     #: result JSON is byte-identical with forensics on or off)
     explanations: Optional[list] = None
+    #: what the durable store and snapshot budgets did (side channel: an
+    #: interrupted-and-resumed hunt differs from an uninterrupted one here,
+    #: so serializing it would break the byte-identity contract)
+    store_report: Optional["StoreReport"] = None
 
     def crashed_nodes(self) -> List[str]:
         """Union of crashed-node summaries across every pass."""
@@ -122,6 +129,8 @@ class HuntResult:
             lines.append("  " + self.telemetry.one_line())
         if self.worker_health is not None and self.worker_health.eventful:
             lines.append("  " + self.worker_health.one_line())
+        if self.store_report is not None and self.store_report.eventful:
+            lines.append("  " + self.store_report.one_line())
         if self.explanations:
             lines.extend("  " + e.one_line() for e in self.explanations)
         if self.validation is not None:
@@ -144,28 +153,53 @@ def _checkpoint_dict(system: str, seed: int, excluded: Set[tuple],
         "weights": dict(weights.weights),
         "ledger": dict(result.total_ledger.by_category),
         "passes": [report_to_dict(p) for p in result.passes],
+        "written_at_pass": len(result.passes),
         "complete": bool(result.passes) and not result.passes[-1].findings,
     }
 
 
 def save_checkpoint(path: str, system: str, seed: int, excluded: Set[tuple],
                     weights: ClusterWeights, result: HuntResult) -> None:
-    """Atomically persist the hunt state (write to a temp file + rename)."""
+    """Durably persist the hunt state.
+
+    Temp file + fsync + rename + parent-directory fsync (see
+    :func:`repro.store.journal.atomic_write_json`): a crash at any instant
+    leaves either the complete previous checkpoint or the complete new one
+    — never the empty/torn file a plain write-then-rename can leave when
+    the rename is durable before the data is.
+    """
+    from repro.store.journal import atomic_write_json
     data = _checkpoint_dict(system, seed, excluded, weights, result)
-    tmp = f"{path}.tmp"
-    with open(tmp, "w") as fh:
-        json.dump(data, fh, indent=2)
-    os.replace(tmp, path)
+    atomic_write_json(path, data)
+
+
+def migrate_checkpoint(data: Dict, origin: str = "checkpoint") -> Dict:
+    """Bring an older checkpoint forward to the current schema."""
+    version = data.get("version")
+    if version == 1:
+        data = dict(data)
+        data["version"] = 2
+        data["written_at_pass"] = len(data.get("passes", []))
+        return data
+    if version != CHECKPOINT_VERSION:
+        raise ConfigError(f"{origin} has version {version!r}; "
+                          f"this build reads versions 1-{CHECKPOINT_VERSION}")
+    return data
 
 
 def load_checkpoint(path: str) -> Dict:
-    with open(path) as fh:
-        data = json.load(fh)
-    version = data.get("version")
-    if version != CHECKPOINT_VERSION:
-        raise ConfigError(f"checkpoint {path} has version {version!r}; "
-                          f"this build reads version {CHECKPOINT_VERSION}")
-    return data
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise ConfigError(f"cannot read checkpoint {path}: {exc}") from None
+    except ValueError as exc:
+        raise ConfigError(
+            f"checkpoint {path} is truncated or corrupt ({exc}); "
+            f"delete it or restart the hunt without --resume") from None
+    if not isinstance(data, dict):
+        raise ConfigError(f"checkpoint {path} is not a JSON object")
+    return migrate_checkpoint(data, origin=f"checkpoint {path}")
 
 
 def _restore_from_checkpoint(data: Dict, seed: int,
@@ -216,7 +250,9 @@ def hunt(factory: TestbedFactory, seed: int = 0,
          workers: int = 1,
          injection_cache: bool = False,
          health_policy: Optional["HealthPolicy"] = None,
-         explain: bool = False) -> HuntResult:
+         explain: bool = False,
+         store_dir: Optional[str] = None,
+         snapshot_budget: Optional[int] = None) -> HuntResult:
     """Run weighted-greedy passes until a pass finds nothing new.
 
     The cluster weights persist across passes, so what pass 1 learned about
@@ -254,7 +290,47 @@ def hunt(factory: TestbedFactory, seed: int = 0,
     private ledger), into ``result.explanations`` — a side channel the
     serialized result never includes, so the hunt JSON stays byte-
     identical with forensics on or off, serial or parallel.
+
+    ``store_dir`` makes the campaign **durable**: every completed probe is
+    committed to a write-ahead journal (CRC32 + fsync) and the pass-level
+    state to generation-swapped checkpoints in that directory (see
+    :mod:`repro.store.runstore`).  A hunt killed at any instant — even
+    ``SIGKILL`` mid-pass — resumes by pointing a new hunt at the same
+    directory: journaled probes replay from disk (skipping completed
+    scenarios *mid-pass*), everything else re-simulates, and the final
+    result is byte-identical to the uninterrupted run's, serial or
+    parallel.  The store subsumes ``checkpoint_path``/``resume`` and is
+    mutually exclusive with them; resume activity is reported through
+    ``result.store_report`` (a side channel) rather than
+    ``resumed_passes``, which the byte-identity contract pins to 0.
+
+    ``snapshot_budget`` bounds snapshot-cache memory (bytes): with
+    ``injection_cache`` it caps the harness's injection-point snapshots,
+    and with ``workers``/``store_dir`` it caps each prober's retained
+    per-type contexts.  Eviction is LRU and deterministic; an evicted
+    entry rebuilds from the warm snapshot with the platform time charged
+    to the budget's side-channel ledger, so the report stays
+    byte-identical to an unbudgeted run's.
     """
+    if store_dir is not None and fault_plan is not None:
+        raise ConfigError(
+            "--store cannot run under a FaultPlan: the plan's fault stream "
+            "is sequence-dependent, so a resumed hunt that skips journaled "
+            "work would fault different operations than the original")
+    if store_dir is not None and injection_cache:
+        raise ConfigError(
+            "--store and injection_cache are mutually exclusive: cached "
+            "passes charge less than the serial ledger the store's replay "
+            "reproduces")
+    if store_dir is not None and (checkpoint_path is not None or resume):
+        raise ConfigError(
+            "--store subsumes --checkpoint/--resume: the store directory "
+            "already checkpoints every pass and resumes automatically")
+    if snapshot_budget is not None and not (
+            injection_cache or store_dir is not None or workers > 1):
+        raise ConfigError(
+            "--snapshot-budget needs a snapshot cache to bound: combine it "
+            "with --injection-cache, --store, or --workers")
     if workers > 1 and fault_plan is not None:
         raise ConfigError(
             "workers > 1 cannot run under a FaultPlan: the plan's fault "
@@ -302,9 +378,42 @@ def hunt(factory: TestbedFactory, seed: int = 0,
                 attach_explanations()
                 return result
 
+    store = None
+    budget = None
+    start_pass = result.resumed_passes
+    if snapshot_budget is not None and injection_cache:
+        from repro.store.budget import SnapshotBudget
+        budget = SnapshotBudget(snapshot_budget)
+    if store_dir is not None:
+        from repro.store.budget import StoreReport
+        from repro.store.runstore import RunStore
+        store = RunStore(store_dir, seed=seed)
+        data = store.load_checkpoint()
+        if data is not None:
+            data = migrate_checkpoint(data, origin=f"store {store_dir}")
+            _restore_from_checkpoint(data, seed, excluded, weights, result)
+            system = data["system"]
+            # ``resumed_passes`` is serialized into the result; the byte-
+            # identity contract pins it to 0 and reports restoration
+            # through the store_report side channel instead.
+            start_pass = result.resumed_passes
+            result.resumed_passes = 0
+            store.note_passes_restored(start_pass)
+            if data.get("complete"):
+                attach_explanations()
+                report = StoreReport()
+                report.merge_counters(store.counters())
+                result.store_report = report
+                store.close()
+                return result
+
     executor = None
     search: Optional[WeightedGreedySearch] = None
-    if workers > 1:
+    if workers > 1 or store is not None:
+        # The store always routes through the executor — at workers=1 an
+        # in-process prober whose merged report is byte-identical to the
+        # serial algorithm's — because the prober's probe granularity is
+        # what the journal records and replays.
         from repro.parallel.executor import ScenarioExecutor
         executor = ScenarioExecutor(
             factory, seed=seed, algorithm="weighted", workers=workers,
@@ -312,7 +421,8 @@ def hunt(factory: TestbedFactory, seed: int = 0,
             max_wait=max_wait, shared_pages=shared_pages,
             delta_snapshots=delta_snapshots, fault_schedule=fault_schedule,
             watchdog_limit=watchdog_limit, max_retries=max_retries,
-            tracer=tracer, log_events=log_events, health=health_policy)
+            tracer=tracer, log_events=log_events, health=health_policy,
+            store=store, snapshot_budget=snapshot_budget)
 
     def collect_world_output() -> None:
         if not log_events:
@@ -323,7 +433,7 @@ def hunt(factory: TestbedFactory, seed: int = 0,
             result.event_log.extend(search.harness.instance.world.log.records)
 
     try:
-        for pass_index in range(result.resumed_passes, max_passes):
+        for pass_index in range(start_pass, max_passes):
             progress.prefix = f"pass {pass_index + 1}/{max_passes} · "
             if executor is None and (search is None or not injection_cache):
                 # injection_cache keeps one search (and its warm testbed,
@@ -339,7 +449,8 @@ def hunt(factory: TestbedFactory, seed: int = 0,
                     tracer=tracer, progress=progress,
                     log_events=log_events,
                     injection_cache=injection_cache,
-                    reuse_testbed=injection_cache)
+                    reuse_testbed=injection_cache,
+                    snapshot_budget=budget)
             try:
                 with maybe_span(tracer, "hunt.pass",
                                 index=pass_index + 1) as span:
@@ -363,6 +474,9 @@ def hunt(factory: TestbedFactory, seed: int = 0,
                 if checkpoint_path is not None:
                     save_checkpoint(checkpoint_path, system, seed, excluded,
                                     weights, result)
+                if store is not None:
+                    store.save_checkpoint(_checkpoint_dict(
+                        system, seed, excluded, weights, result))
                 return result
             except SearchError:
                 # A pass aborted mid-recovery (worker fault under
@@ -373,6 +487,9 @@ def hunt(factory: TestbedFactory, seed: int = 0,
                 if checkpoint_path is not None:
                     save_checkpoint(checkpoint_path, system, seed, excluded,
                                     weights, result)
+                if store is not None:
+                    store.save_checkpoint(_checkpoint_dict(
+                        system, seed, excluded, weights, result))
                 raise
             system = report.system
             result.passes.append(report)
@@ -390,6 +507,9 @@ def hunt(factory: TestbedFactory, seed: int = 0,
             if checkpoint_path is not None:
                 save_checkpoint(checkpoint_path, system, seed, excluded,
                                 weights, result)
+            if store is not None:
+                store.save_checkpoint(_checkpoint_dict(
+                    system, seed, excluded, weights, result))
             if not report.findings:
                 break
     finally:
@@ -397,5 +517,17 @@ def hunt(factory: TestbedFactory, seed: int = 0,
             result.worker_breakdown = executor.worker_breakdown()
             result.worker_health = executor.worker_health()
             executor.close()
+        if store is not None or budget is not None or (
+                executor is not None and snapshot_budget is not None):
+            from repro.store.budget import StoreReport
+            store_report = StoreReport()
+            if store is not None:
+                store_report.merge_counters(store.counters())
+                store.close()
+            if budget is not None:
+                store_report.merge_counters(budget.counters())
+            if executor is not None:
+                store_report.merge_counters(executor.budget_counters())
+            result.store_report = store_report
     attach_explanations()
     return result

@@ -1,0 +1,22 @@
+"""Durable run storage: crash-safe journals, checkpoints, and byte budgets.
+
+Long hunts only pay off when progress survives process death and memory
+pressure.  This package provides the three pieces that make a hunt
+kill-``-9``-safe and memory-bounded:
+
+* :class:`~repro.store.journal.Journal` — an append-only write-ahead log
+  (JSONL, per-record CRC32, fsync-on-commit) with torn-tail recovery;
+* :class:`~repro.store.runstore.RunStore` — journal + generation-swapped
+  checkpoints for a hunt campaign, replayed on resume so a restarted hunt
+  skips every already-completed scenario mid-pass;
+* :class:`~repro.store.budget.SnapshotBudget` — byte-accounted LRU
+  eviction for snapshot caches, with rebuild-on-miss charged to its own
+  side-channel cost ledger.
+"""
+
+from repro.store.budget import SnapshotBudget, StoreReport
+from repro.store.journal import Journal, atomic_write_json
+from repro.store.runstore import RunStore
+
+__all__ = ["Journal", "RunStore", "SnapshotBudget", "StoreReport",
+           "atomic_write_json"]
